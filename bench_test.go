@@ -1,0 +1,289 @@
+package repro
+
+// The benchmark harness: one benchmark per table and figure of the
+// evaluation (DESIGN.md §4) plus the ablations (§5) and micro-benchmarks of
+// the hot paths. Each table/figure benchmark regenerates its experiment
+// end to end through the simulator and reports the experiment's headline
+// quantity as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// both exercises the full pipeline and prints the reproduced numbers.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/cluster"
+	"repro/internal/des"
+	"repro/internal/exp"
+	"repro/internal/interference"
+	"repro/internal/job"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// benchOpts keeps one experiment iteration around a hundred milliseconds
+// while preserving the workload shape; the exprun CLI runs the full-size
+// versions.
+func benchOpts() exp.Options {
+	return exp.Options{Seeds: []uint64{42}, Nodes: 32, Jobs: 150, RuntimeScale: 0.02}
+}
+
+// runExperiment drives one registry entry b.N times and reports metric
+// (extracted from the named column of the named row) as a custom benchmark
+// metric.
+func runExperiment(b *testing.B, id, rowKey, column, metricName string) {
+	b.Helper()
+	e, err := exp.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tbl *report.Table
+	for i := 0; i < b.N; i++ {
+		tbl, err = e.Run(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if metricName == "" {
+		return
+	}
+	v, ok := cellValue(tbl, rowKey, column)
+	if !ok {
+		b.Fatalf("%s: no cell (%q, %q) in:\n%s", id, rowKey, column, tbl)
+	}
+	b.ReportMetric(v, metricName)
+}
+
+// cellValue finds the row whose first cell equals rowKey and parses the
+// named column as a float (tolerating %-suffixed cells).
+func cellValue(t *report.Table, rowKey, column string) (float64, bool) {
+	col := -1
+	for i, c := range t.Columns {
+		if c == column {
+			col = i
+		}
+	}
+	if col < 0 {
+		return 0, false
+	}
+	for _, row := range t.Rows {
+		if len(row) > col && row[0] == rowKey {
+			s := strings.TrimSuffix(strings.TrimSpace(row[col]), "%")
+			v, err := strconv.ParseFloat(strings.TrimPrefix(s, "+"), 64)
+			if err != nil {
+				return 0, false
+			}
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// --- Tables ---
+
+func BenchmarkTableT1AppCatalogue(b *testing.B) {
+	runExperiment(b, "T1", "", "", "")
+}
+
+func BenchmarkTableT2CorunMatrix(b *testing.B) {
+	runExperiment(b, "T2", "", "", "")
+}
+
+func BenchmarkTableT3StrategySummary(b *testing.B) {
+	runExperiment(b, "T3", "sharebackfill", "CE", "CE")
+}
+
+// --- Figures ---
+
+func BenchmarkFigureF1CompEfficiency(b *testing.B) {
+	// Headline 1: computational efficiency of sharing (paper: ≈ +19%).
+	runExperiment(b, "F1", "sharebackfill", "CE mean", "CE")
+}
+
+func BenchmarkFigureF2SchedEfficiency(b *testing.B) {
+	// Headline 2: scheduling efficiency of sharing (paper: ≈ +25.2%).
+	runExperiment(b, "F2", "sharebackfill", "SE mean", "SE")
+}
+
+func BenchmarkFigureF3Overhead(b *testing.B) {
+	runExperiment(b, "F3", "", "", "")
+}
+
+func BenchmarkFigureF4WaitSlowdown(b *testing.B) {
+	runExperiment(b, "F4", "", "", "")
+}
+
+func BenchmarkFigureF5LoadSweep(b *testing.B) {
+	runExperiment(b, "F5", "", "", "")
+}
+
+func BenchmarkFigureF6MixSensitivity(b *testing.B) {
+	runExperiment(b, "F6", "trinity", "CE share", "CE")
+}
+
+func BenchmarkFigureF7OversubSweep(b *testing.B) {
+	runExperiment(b, "F7", "", "", "")
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+func BenchmarkAblationPairing(b *testing.B) {
+	runExperiment(b, "A1", "pairing-aware (default)", "CE", "CE")
+}
+
+func BenchmarkAblationInflation(b *testing.B) {
+	runExperiment(b, "A2", "accounting on (default)", "CE", "CE")
+}
+
+func BenchmarkAblationPreferShared(b *testing.B) {
+	runExperiment(b, "A3", "share-first (default)", "CE", "CE")
+}
+
+func BenchmarkAblationLimits(b *testing.B) {
+	runExperiment(b, "A4", "", "", "")
+}
+
+func BenchmarkFigureF8Fairness(b *testing.B) {
+	runExperiment(b, "F8", "", "", "")
+}
+
+func BenchmarkTableE1Energy(b *testing.B) {
+	runExperiment(b, "E1", "sharebackfill", "energy(kWh)", "kWh")
+}
+
+func BenchmarkFigureF9WalltimeAccuracy(b *testing.B) {
+	runExperiment(b, "F9", "", "", "")
+}
+
+func BenchmarkFigureF10Locality(b *testing.B) {
+	runExperiment(b, "F10", "", "", "")
+}
+
+func BenchmarkFigureF11SchedInterval(b *testing.B) {
+	runExperiment(b, "F11", "", "", "")
+}
+
+func BenchmarkTableT4PerApp(b *testing.B) {
+	runExperiment(b, "T4", "", "", "")
+}
+
+// --- Micro-benchmarks of the hot paths ---
+
+// BenchmarkSchedulerPass measures one policy decision pass on a realistic
+// mid-run state (the F3 latency experiment's inner loop).
+func BenchmarkSchedulerPass(b *testing.B) {
+	for _, policy := range []string{"easy", "conservative", "sharefirstfit", "sharebackfill"} {
+		b.Run(policy, func(b *testing.B) {
+			ctx, err := exp.BuildOverheadContext(exp.Options{}, 200)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pol, err := sched.New(policy, sched.DefaultShareConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pol.Schedule(ctx)
+			}
+		})
+	}
+}
+
+// BenchmarkEngineThroughput measures full simulation speed in jobs/second of
+// real time — the number that makes parameter sweeps cheap.
+func BenchmarkEngineThroughput(b *testing.B) {
+	for _, policy := range []string{"easy", "sharebackfill"} {
+		b.Run(policy, func(b *testing.B) {
+			machine := cluster.Trinity(32)
+			const jobCount = 200
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				jobs, err := workload.Generate(workload.Spec{
+					Mix: workload.TrinityMix(), Jobs: jobCount,
+					Arrival: workload.Poisson, Load: 1.2,
+					Cluster: machine, RuntimeScale: 0.02, Seed: uint64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				pol, err := sched.New(policy, sched.DefaultShareConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				e := sim.New(sim.Config{Cluster: machine, Policy: pol})
+				if err := e.SubmitAll(jobs); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				e.RunAll()
+			}
+			b.ReportMetric(float64(jobCount)*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}
+
+// BenchmarkInterferenceNodeRates measures the co-run model evaluation that
+// runs on every co-location change.
+func BenchmarkInterferenceNodeRates(b *testing.B) {
+	m := interference.Default()
+	cat := app.Catalogue()
+	loads := []app.StressVector{cat[0].Stress, cat[1].Stress}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.NodeRates(loads)
+	}
+}
+
+// BenchmarkClusterAllocate measures layer allocation + release, the
+// engine's per-start bookkeeping.
+func BenchmarkClusterAllocate(b *testing.B) {
+	c := cluster.New(cluster.Trinity(32))
+	nodes := []int{0, 1, 2, 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := cluster.JobID(i + 1)
+		if err := c.Allocate(c.LayerPlacement(id, nodes, cluster.PrimaryLayer, 1024)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Release(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEventKernel measures raw discrete-event throughput.
+func BenchmarkEventKernel(b *testing.B) {
+	s := des.NewSimulator()
+	var tick des.Handler
+	n := 0
+	tick = func(sim *des.Simulator) {
+		n++
+		if n < b.N {
+			sim.ScheduleIn(1, tick)
+		}
+	}
+	b.ResetTimer()
+	s.Schedule(0, tick)
+	s.RunAll()
+}
+
+// BenchmarkJobProgressIntegration measures the rate-change path (SetRate +
+// completion reprojection) that fires on every co-location change.
+func BenchmarkJobProgressIntegration(b *testing.B) {
+	a := app.Catalogue()[0]
+	j := &job.Job{ID: 1, App: a, Nodes: 1, ReqWalltime: 1e12, TrueRuntime: 1e12, Submit: 0}
+	j.Start(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := des.Time(i + 1)
+		j.SetRate(t, 0.5+0.4*float64(i%2))
+		j.ETA(t)
+	}
+}

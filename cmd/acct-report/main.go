@@ -1,0 +1,57 @@
+// Command acct-report analyzes a JSON-lines accounting file written by
+// nodeshare-sim -acct: per-application aggregates plus overall counts.
+//
+//	nodeshare-sim -jobs 200 -acct run.acct
+//	acct-report run.acct
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/acct"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: acct-report <file.acct>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	records, err := acct.Read(f)
+	if err != nil {
+		fatal(err)
+	}
+
+	finished, killed, cancelled, shared := 0, 0, 0, 0
+	for _, r := range records {
+		switch r.State {
+		case "FINISHED":
+			finished++
+		case "KILLED":
+			killed++
+		case "CANCELLED":
+			cancelled++
+		}
+		if r.Shared {
+			shared++
+		}
+	}
+	fmt.Printf("%d records: %d finished, %d killed, %d cancelled; %d ran shared\n\n",
+		len(records), finished, killed, cancelled, shared)
+
+	if err := acct.Summary(records).Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "acct-report:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+// Command exprun regenerates the evaluation's tables and figures.
+//
+// Usage:
+//
+//	exprun -list                 # show the experiment registry
+//	exprun                       # run every experiment
+//	exprun F1 F2 T3              # run selected experiments
+//	exprun -csv -out results F1  # also write results/F1.csv
+//	exprun -seeds 5 -jobs 500    # heavier averaging
+//
+// Experiment IDs, workloads, and paper-anchored expectations are indexed in
+// DESIGN.md §4; measured-vs-paper numbers are recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	csv := flag.Bool("csv", false, "also write CSV files (requires -out)")
+	out := flag.String("out", "", "directory for CSV output")
+	seeds := flag.Int("seeds", 3, "number of workload seeds to average over")
+	nodes := flag.Int("nodes", 32, "machine size in nodes")
+	jobs := flag.Int("jobs", 300, "jobs per run")
+	scale := flag.Float64("scale", 0.05, "application runtime scale (1 = full-length runs)")
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-3s %-22s %s\n        expectation: %s\n", e.ID, e.Name, e.Title, e.Paper)
+		}
+		return
+	}
+
+	opts := exp.Options{
+		Nodes:        *nodes,
+		Jobs:         *jobs,
+		RuntimeScale: *scale,
+	}
+	for s := 0; s < *seeds; s++ {
+		opts.Seeds = append(opts.Seeds, uint64(42+s))
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = exp.IDs()
+	}
+	for _, id := range ids {
+		e, err := exp.ByID(id)
+		if err != nil {
+			fatal(err)
+		}
+		tbl, err := e.Run(opts)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		if err := tbl.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		if *csv {
+			if *out == "" {
+				fatal(fmt.Errorf("-csv requires -out"))
+			}
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				fatal(err)
+			}
+			f, err := os.Create(filepath.Join(*out, id+".csv"))
+			if err != nil {
+				fatal(err)
+			}
+			if err := tbl.RenderCSV(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "exprun:", err)
+	os.Exit(1)
+}

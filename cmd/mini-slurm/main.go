@@ -1,0 +1,275 @@
+// Command mini-slurm is the SLURM-like workload manager front end: a
+// controller daemon plus sbatch/squeue/sinfo/scancel-style subcommands that
+// talk to it over TCP. Time inside the controller is simulated; the
+// `advance` and `drain` subcommands move it.
+//
+// Usage:
+//
+//	mini-slurm serve -conf slurm.conf -addr 127.0.0.1:6818 &
+//	mini-slurm sbatch -addr 127.0.0.1:6818 -app minife -nodes 4 -time 7200
+//	mini-slurm squeue -addr 127.0.0.1:6818
+//	mini-slurm sinfo  -addr 127.0.0.1:6818
+//	mini-slurm advance -addr 127.0.0.1:6818 -seconds 3600
+//	mini-slurm scancel -addr 127.0.0.1:6818 -id 3
+//	mini-slurm stats  -addr 127.0.0.1:6818
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"repro/internal/des"
+	"repro/internal/slurm"
+)
+
+const defaultAddr = "127.0.0.1:6818"
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "serve":
+		err = serve(args)
+	case "sbatch":
+		err = sbatch(args)
+	case "squeue":
+		err = squeue(args)
+	case "sinfo":
+		err = sinfo(args)
+	case "scancel":
+		err = scancel(args)
+	case "advance":
+		err = advance(args)
+	case "drain":
+		err = drain(args)
+	case "stats":
+		err = stats(args)
+	case "scontrol":
+		err = scontrol(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mini-slurm:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr,
+		`usage: mini-slurm <serve|sbatch|squeue|sinfo|scancel|scontrol|advance|drain|stats> [flags]`)
+	os.Exit(2)
+}
+
+func scontrol(args []string) error {
+	fs := flag.NewFlagSet("scontrol", flag.ExitOnError)
+	drainNode := fs.Int("drain", -1, "node ID to drain")
+	resumeNode := fs.Int("resume", -1, "node ID to resume")
+	cl, _, err := dial(fs, args)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	switch {
+	case *drainNode >= 0:
+		if err := cl.DrainNode(*drainNode); err != nil {
+			return err
+		}
+		fmt.Printf("node %d drained\n", *drainNode)
+	case *resumeNode >= 0:
+		if err := cl.ResumeNode(*resumeNode); err != nil {
+			return err
+		}
+		fmt.Printf("node %d resumed\n", *resumeNode)
+	default:
+		return fmt.Errorf("scontrol: need -drain <node> or -resume <node>")
+	}
+	return nil
+}
+
+func serve(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	conf := fs.String("conf", "", "slurm.conf-style configuration file (default built-in Trinity config)")
+	addr := fs.String("addr", defaultAddr, "listen address")
+	fs.Parse(args)
+
+	cfg := slurm.DefaultConfig()
+	if *conf != "" {
+		f, err := os.Open(*conf)
+		if err != nil {
+			return err
+		}
+		parsed, err := slurm.ParseConfig(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		cfg = parsed
+	}
+	ctl, err := slurm.NewController(cfg)
+	if err != nil {
+		return err
+	}
+	srv := slurm.NewServer(ctl)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mini-slurm: cluster %q policy %s listening on %s\n",
+		cfg.ClusterName, cfg.Policy, bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	srv.Close()
+	return nil
+}
+
+func dial(fs *flag.FlagSet, args []string) (*slurm.Client, *flag.FlagSet, error) {
+	addr := fs.String("addr", defaultAddr, "controller address")
+	fs.Parse(args)
+	cl, err := slurm.Dial(*addr)
+	return cl, fs, err
+}
+
+func sbatch(args []string) error {
+	fs := flag.NewFlagSet("sbatch", flag.ExitOnError)
+	app := fs.String("app", "", "application name (required)")
+	nodes := fs.Int("nodes", 1, "node count")
+	wall := fs.Float64("time", 3600, "requested walltime in seconds")
+	runtime := fs.Float64("runtime", 0, "actual runtime in seconds (default 60% of walltime)")
+	name := fs.String("name", "", "job name")
+	afterSpec := fs.String("after", "", "comma-separated job IDs this job depends on (afterok)")
+	cl, _, err := dial(fs, args)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	if *app == "" {
+		return fmt.Errorf("sbatch: -app is required")
+	}
+	var after []int64
+	if *afterSpec != "" {
+		for _, part := range strings.Split(*afterSpec, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+			if err != nil {
+				return fmt.Errorf("sbatch: bad -after %q: %v", part, err)
+			}
+			after = append(after, v)
+		}
+	}
+	id, err := cl.Submit(*app, *nodes, des.Duration(*wall), des.Duration(*runtime), *name, after...)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Submitted batch job %d\n", id)
+	return nil
+}
+
+func squeue(args []string) error {
+	fs := flag.NewFlagSet("squeue", flag.ExitOnError)
+	history := fs.Bool("history", false, "include finished and cancelled jobs")
+	cl, _, err := dial(fs, args)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	jobs, err := cl.Queue(*history)
+	if err != nil {
+		return err
+	}
+	fmt.Print(slurm.Squeue(jobs))
+	return nil
+}
+
+func sinfo(args []string) error {
+	fs := flag.NewFlagSet("sinfo", flag.ExitOnError)
+	summary := fs.Bool("summary", false, "one-line aggregate view")
+	cl, _, err := dial(fs, args)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	nodes, err := cl.Nodes()
+	if err != nil {
+		return err
+	}
+	if *summary {
+		fmt.Println(slurm.SinfoSummary(nodes))
+		return nil
+	}
+	fmt.Print(slurm.Sinfo(nodes))
+	return nil
+}
+
+func scancel(args []string) error {
+	fs := flag.NewFlagSet("scancel", flag.ExitOnError)
+	id := fs.Int64("id", 0, "job ID to cancel (required)")
+	cl, _, err := dial(fs, args)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	if *id == 0 {
+		return fmt.Errorf("scancel: -id is required")
+	}
+	if err := cl.Cancel(*id); err != nil {
+		return err
+	}
+	fmt.Printf("Cancelled job %d\n", *id)
+	return nil
+}
+
+func advance(args []string) error {
+	fs := flag.NewFlagSet("advance", flag.ExitOnError)
+	seconds := fs.Float64("seconds", 3600, "simulated seconds to advance")
+	cl, _, err := dial(fs, args)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	now, err := cl.Advance(des.Duration(*seconds))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("clock: %s\n", now)
+	return nil
+}
+
+func drain(args []string) error {
+	fs := flag.NewFlagSet("drain", flag.ExitOnError)
+	cl, _, err := dial(fs, args)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	now, err := cl.Drain()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("drained at %s\n", now)
+	return nil
+}
+
+func stats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	cl, _, err := dial(fs, args)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	st, err := cl.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Println(st)
+	return nil
+}

@@ -1,0 +1,181 @@
+// Command nodeshare-sim runs one batch-system simulation and prints its
+// metrics: either a synthetic workload (generated in-process) or an SWF
+// trace replay.
+//
+// Usage:
+//
+//	nodeshare-sim -policy sharebackfill -jobs 300 -load 1.4
+//	nodeshare-sim -policy easy -swf workload.swf
+//	nodeshare-sim -policy sharefirstfit -trace -jobs 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/acct"
+	"repro/internal/app"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/interference"
+	"repro/internal/job"
+	"repro/internal/report"
+	"repro/internal/swf"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func main() {
+	policy := flag.String("policy", "sharebackfill", "scheduling policy (fcfs|firstfit|easy|conservative|sharefirstfit|sharebackfill)")
+	nodes := flag.Int("nodes", 32, "machine size in nodes")
+	jobsN := flag.Int("jobs", 300, "synthetic workload job count")
+	mixName := flag.String("mix", "trinity", "application mix")
+	arrival := flag.String("arrival", "poisson", "arrival process: batch|poisson|dailycycle")
+	load := flag.Float64("load", 1.4, "offered load for open arrivals")
+	scale := flag.Float64("scale", 0.05, "runtime scale")
+	seed := flag.Uint64("seed", 42, "workload seed")
+	swfPath := flag.String("swf", "", "replay an SWF trace instead of generating a workload")
+	trace := flag.Bool("trace", false, "print per-event trace lines")
+	gantt := flag.Bool("gantt", false, "print an ASCII node-occupancy timeline after the run")
+	acctPath := flag.String("acct", "", "write a JSON-lines accounting file (analyze with acct-report)")
+	topoOn := flag.Bool("topo", false, "enable the interconnect model with locality-aware placement")
+	corun := flag.String("corun", "", "CSV of measured co-run pairs overriding the analytic model (appA,appB,rateA,rateB)")
+	corunExport := flag.Bool("corun-template", false, "print the analytic co-run matrix as a CSV template and exit")
+	horizon := flag.Float64("horizon", 0, "stop after this many simulated seconds (0 = run to completion)")
+	flag.Parse()
+
+	if *corunExport {
+		if err := interference.Default().ExportCoRunCSV(os.Stdout, app.Catalogue()); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	machine := cluster.Trinity(*nodes)
+	cfg := core.Config{Machine: machine, Policy: *policy}
+	if *corun != "" {
+		f, err := os.Open(*corun)
+		if err != nil {
+			fatal(err)
+		}
+		pairs, err := interference.ParseCoRunCSV(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		cfg.MeasuredPairs = pairs
+	}
+	if *topoOn {
+		t := topology.Default(*nodes)
+		cfg.Topology = &t
+		cfg.LocalityAware = true
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *trace {
+		sys.Trace(func(line string) { fmt.Println(line) })
+	}
+
+	var jobs []*job.Job
+	if *swfPath != "" {
+		f, err := os.Open(*swfPath)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err := swf.Parse(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		jobs, err = swf.ToJobs(tr, machine)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		mix, err := workload.MixByName(*mixName)
+		if err != nil {
+			fatal(err)
+		}
+		var arr workload.Arrival
+		switch *arrival {
+		case "batch":
+			arr = workload.Batch
+			*load = 0
+		case "poisson":
+			arr = workload.Poisson
+		case "dailycycle":
+			arr = workload.DailyCycle
+		default:
+			fatal(fmt.Errorf("unknown arrival %q", *arrival))
+		}
+		jobs, err = workload.Generate(workload.Spec{
+			Mix: mix, Jobs: *jobsN, Arrival: arr, Load: *load,
+			Cluster: machine, RuntimeScale: *scale, Seed: *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if err := sys.SubmitJobs(jobs); err != nil {
+		fatal(err)
+	}
+	if *horizon > 0 {
+		sys.RunUntil(des.Time(*horizon))
+	} else {
+		sys.Run()
+	}
+
+	if *acctPath != "" {
+		var all []*job.Job
+		all = append(all, sys.Finished()...)
+		all = append(all, sys.Engine().Killed()...)
+		all = append(all, sys.Engine().Rejected()...)
+		f, err := os.Create(*acctPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := acct.Write(f, acct.FromJobs(all)); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *gantt {
+		var spans []report.Span
+		for _, rec := range sys.History() {
+			for _, ni := range rec.Nodes {
+				spans = append(spans, report.Span{
+					Node: ni, Start: float64(rec.Start), End: float64(rec.End),
+					Label: int(rec.Job) - 1,
+				})
+			}
+		}
+		fmt.Print(report.Gantt(spans, machine.Nodes, 100, 0, 0))
+		fmt.Println()
+	}
+
+	r := sys.Metrics()
+	fmt.Println(r)
+	fmt.Printf("  computational efficiency: %.3f\n", r.CompEfficiency)
+	fmt.Printf("  scheduling efficiency:    %.3f\n", r.SchedEfficiency)
+	fmt.Printf("  utilization:              %.3f\n", r.Utilization)
+	fmt.Printf("  shared node-time:         %.1f%%\n", r.SharedFraction*100)
+	fmt.Printf("  wait mean / p95:          %.0fs / %.0fs\n", r.Wait.Mean, r.Wait.P95)
+	fmt.Printf("  bounded slowdown mean:    %.2f\n", r.Slowdown.Mean)
+	fmt.Printf("  stretch mean:             %.3f\n", r.Stretch.Mean)
+	fmt.Printf("  scheduler pass mean:      %.1fµs over %d passes\n",
+		r.DecisionNanos.Mean/1e3, r.DecisionNanos.N)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nodeshare-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,101 @@
+// Command sweep runs a policy × load × seed grid and emits one CSV row per
+// run — the bulk data source for plotting beyond the canned experiments.
+//
+//	sweep -policies easy,sharebackfill -loads 0.6,0.9,1.2,1.5 -seeds 5 > grid.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func main() {
+	policies := flag.String("policies", "easy,sharefirstfit,sharebackfill",
+		"comma-separated policy list")
+	loads := flag.String("loads", "0.6,0.9,1.2,1.5", "comma-separated offered loads")
+	seeds := flag.Int("seeds", 3, "seeds per cell (42, 43, …)")
+	nodes := flag.Int("nodes", 32, "machine size")
+	jobs := flag.Int("jobs", 300, "jobs per run")
+	mixName := flag.String("mix", "trinity", "application mix")
+	scale := flag.Float64("scale", 0.05, "runtime scale")
+	flag.Parse()
+
+	mix, err := workload.MixByName(*mixName)
+	if err != nil {
+		fatal(err)
+	}
+	var loadVals []float64
+	for _, s := range strings.Split(*loads, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad load %q: %w", s, err))
+		}
+		loadVals = append(loadVals, v)
+	}
+
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	if err := w.Write([]string{
+		"policy", "load", "seed", "finished", "makespan_s",
+		"comp_efficiency", "sched_efficiency", "utilization", "shared_fraction",
+		"wait_mean_s", "wait_p95_s", "slowdown_mean", "stretch_mean",
+	}); err != nil {
+		fatal(err)
+	}
+
+	machine := cluster.Trinity(*nodes)
+	for _, policy := range strings.Split(*policies, ",") {
+		policy = strings.TrimSpace(policy)
+		for _, load := range loadVals {
+			for s := 0; s < *seeds; s++ {
+				seed := uint64(42 + s)
+				generated, err := workload.Generate(workload.Spec{
+					Mix: mix, Jobs: *jobs, Arrival: workload.Poisson, Load: load,
+					Cluster: machine, RuntimeScale: *scale, Seed: seed,
+				})
+				if err != nil {
+					fatal(err)
+				}
+				sys, err := core.NewSystem(core.Config{Machine: machine, Policy: policy})
+				if err != nil {
+					fatal(err)
+				}
+				if err := sys.SubmitJobs(generated); err != nil {
+					fatal(err)
+				}
+				sys.Run()
+				r := sys.Metrics()
+				if err := w.Write([]string{
+					policy,
+					fmt.Sprintf("%g", load),
+					fmt.Sprintf("%d", seed),
+					fmt.Sprintf("%d", r.Finished),
+					fmt.Sprintf("%.1f", float64(r.Makespan)),
+					fmt.Sprintf("%.4f", r.CompEfficiency),
+					fmt.Sprintf("%.4f", r.SchedEfficiency),
+					fmt.Sprintf("%.4f", r.Utilization),
+					fmt.Sprintf("%.4f", r.SharedFraction),
+					fmt.Sprintf("%.1f", r.Wait.Mean),
+					fmt.Sprintf("%.1f", r.Wait.P95),
+					fmt.Sprintf("%.3f", r.Slowdown.Mean),
+					fmt.Sprintf("%.4f", r.Stretch.Mean),
+				}); err != nil {
+					fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

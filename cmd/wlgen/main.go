@@ -1,0 +1,99 @@
+// Command wlgen generates synthetic Trinity-style workloads and writes them
+// in Standard Workload Format (SWF), for consumption by nodeshare-sim or any
+// other SWF-aware tool.
+//
+// Usage:
+//
+//	wlgen -jobs 500 -mix trinity -load 1.2 -seed 42 > workload.swf
+//	wlgen -arrival batch -jobs 200 -o batch.swf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/swf"
+	"repro/internal/workload"
+)
+
+func main() {
+	jobs := flag.Int("jobs", 300, "number of jobs")
+	mixName := flag.String("mix", "trinity", "application mix: trinity|cpubound|membound|comm")
+	arrival := flag.String("arrival", "poisson", "arrival process: batch|poisson|dailycycle")
+	load := flag.Float64("load", 1.0, "offered load for open arrivals")
+	nodes := flag.Int("nodes", 32, "target machine size (node-count cap and load calibration)")
+	scale := flag.Float64("scale", 1.0, "runtime scale (0.05 shrinks hours to minutes)")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	analyze := flag.String("analyze", "", "print statistics for an existing SWF trace and exit")
+	flag.Parse()
+
+	if *analyze != "" {
+		f, err := os.Open(*analyze)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tr, err := swf.Parse(f)
+		if err != nil {
+			fatal(err)
+		}
+		if err := swf.Analyze(tr).Render().Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	mix, err := workload.MixByName(*mixName)
+	if err != nil {
+		fatal(err)
+	}
+	var arr workload.Arrival
+	switch *arrival {
+	case "batch":
+		arr = workload.Batch
+	case "poisson":
+		arr = workload.Poisson
+	case "dailycycle":
+		arr = workload.DailyCycle
+	default:
+		fatal(fmt.Errorf("unknown arrival %q", *arrival))
+	}
+
+	machine := cluster.Trinity(*nodes)
+	spec := workload.Spec{
+		Mix: mix, Jobs: *jobs, Arrival: arr, Load: *load,
+		Cluster: machine, RuntimeScale: *scale, Seed: *seed,
+	}
+	if arr == workload.Batch {
+		spec.Load = 0
+	}
+	generated, err := workload.Generate(spec)
+	if err != nil {
+		fatal(err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	trace := swf.FromJobs(generated, machine)
+	trace.Header.Comments = append(trace.Header.Comments,
+		fmt.Sprintf("Mix: %s, Arrival: %s, Load: %g, Seed: %d", mix.Name, arr, *load, *seed))
+	if err := swf.Write(w, trace); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wlgen:", err)
+	os.Exit(1)
+}

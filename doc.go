@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of the IPDPS 2019
+// node-sharing batch-scheduling study: sharing HPC nodes by oversubscribing
+// cores through hyper-threading, with co-allocation-aware extensions of the
+// first-fit and backfill scheduling algorithms, evaluated against standard
+// node allocation on NERSC-Trinity-style mini-application workloads.
+//
+// See DESIGN.md for the paper-identification note, the system inventory, and
+// the per-experiment index; EXPERIMENTS.md records paper-vs-measured results
+// for every table and figure. The root package holds only the benchmark
+// harness (bench_test.go) that regenerates each of them; the implementation
+// lives under internal/ and the runnable tools under cmd/ and examples/.
+package repro

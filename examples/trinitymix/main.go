@@ -1,0 +1,86 @@
+// Trinitymix: explore the application layer — which Trinity mini-apps share
+// nodes well? Prints each app's resource profile, the best and worst
+// co-runner for each, and a pairing recommendation matrix derived from the
+// interference model. This is the data a site would look at before enabling
+// oversubscription.
+//
+//	go run ./examples/trinitymix
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/app"
+	"repro/internal/interference"
+	"repro/internal/report"
+)
+
+func main() {
+	models := app.Catalogue()
+	inter := interference.Default()
+
+	profile := report.New("Trinity mini-app resource profiles",
+		"app", "bottleneck", "cpu", "membw", "cache", "net", "mem/node")
+	for _, m := range models {
+		profile.Add(m.Name, m.Bottleneck().String(),
+			report.F(m.Stress[app.CPU], 2), report.F(m.Stress[app.MemBW], 2),
+			report.F(m.Stress[app.Cache], 2), report.F(m.Stress[app.Network], 2),
+			fmt.Sprintf("%dGB", m.MemPerNodeMB/1024))
+	}
+	if err := profile.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	pairs := report.New("best and worst co-runner per app (node throughput change when sharing)",
+		"app", "best partner", "gain", "worst partner", "loss/gain")
+	for _, m := range models {
+		bestGain, worstGain := -10.0, 10.0
+		var best, worst string
+		for _, other := range models {
+			g := inter.PairGain(m.Stress, other.Stress)
+			if g > bestGain {
+				bestGain, best = g, other.Name
+			}
+			if g < worstGain {
+				worstGain, worst = g, other.Name
+			}
+		}
+		pairs.Add(m.Name, best, report.Pct(bestGain), worst, report.Pct(worstGain))
+	}
+	pairs.AddNote("gains above 0 mean one shared node outperforms one dedicated node")
+	if err := pairs.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	rec := report.New("pairing recommendation (✓ share, · neutral, ✗ avoid)", header(models)...)
+	for _, m := range models {
+		row := []string{m.Name}
+		for _, other := range models {
+			g := inter.PairGain(m.Stress, other.Stress)
+			switch {
+			case g > 0.25:
+				row = append(row, "✓")
+			case g >= 0:
+				row = append(row, "·")
+			default:
+				row = append(row, "✗")
+			}
+		}
+		rec.Add(row...)
+	}
+	if err := rec.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func header(models []app.Model) []string {
+	cols := []string{"app"}
+	for _, m := range models {
+		cols = append(cols, m.Name)
+	}
+	return cols
+}

@@ -1,0 +1,35 @@
+package acct
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead drives the accounting reader with arbitrary input: no panics,
+// and accepted records must survive a write/read round trip.
+func FuzzRead(f *testing.F) {
+	f.Add(`{"job_id":1,"name":"a","app":"minife","nodes":2,"submit":0,"start":5,"end":10,"limit":20,"state":"FINISHED","work":10}` + "\n")
+	f.Add("\n\n")
+	f.Add("{}")
+	f.Add("not json")
+	f.Fuzz(func(t *testing.T, input string) {
+		records, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, records); err != nil {
+			t.Fatalf("accepted records failed to serialize: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("serialized records failed to reparse: %v", err)
+		}
+		if len(back) != len(records) {
+			t.Fatalf("round trip changed record count %d → %d", len(records), len(back))
+		}
+		// Summaries must handle anything that parses.
+		Summary(records)
+	})
+}

@@ -1,0 +1,273 @@
+// Package app models the applications whose jobs the batch system schedules.
+//
+// The paper evaluates node sharing with the NERSC Trinity scientific mini
+// applications. We cannot run the mini-apps themselves inside a simulator, so
+// each application is represented by an analytic performance model with two
+// ingredients:
+//
+//   - a resource-stress vector: how strongly the app loads a node's core
+//     pipelines, memory bandwidth, last-level cache, and network interface
+//     when it runs one rank per core (the standard Trinity configuration);
+//   - a memory footprint per node.
+//
+// The stress vectors determine everything that matters for node sharing: an
+// app that leaves a resource idle can donate it to a co-located app, and two
+// apps that hammer the same resource interfere. internal/interference turns
+// the vectors of co-located jobs into per-job progress rates.
+//
+// Vector values are calibrated to the published characterizations of the
+// Trinity/NERSC-8 benchmark suite (memory-bandwidth-bound miniFE/AMG/MILC,
+// compute-bound miniMD, cache-sensitive SNAP/UMT, network-heavy miniGhost).
+// They are approximations; DESIGN.md records this substitution.
+package app
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Resource enumerates the shared node resources the interference model
+// tracks.
+type Resource int
+
+// The tracked resources.
+const (
+	CPU     Resource = iota // core pipeline / functional units
+	MemBW                   // memory bandwidth
+	Cache                   // last-level cache capacity
+	Network                 // NIC / injection bandwidth
+	NumResources
+)
+
+// String returns the resource's short name.
+func (r Resource) String() string {
+	switch r {
+	case CPU:
+		return "cpu"
+	case MemBW:
+		return "membw"
+	case Cache:
+		return "cache"
+	case Network:
+		return "net"
+	default:
+		return fmt.Sprintf("resource(%d)", int(r))
+	}
+}
+
+// StressVector quantifies how strongly an application loads each node
+// resource, each component in [0, 1]: 0 = untouched, 1 = fully saturated
+// when running one rank per core on a dedicated node.
+type StressVector [NumResources]float64
+
+// Validate reports whether every component lies in [0, 1].
+func (v StressVector) Validate() error {
+	for r, x := range v {
+		if x < 0 || x > 1 || math.IsNaN(x) {
+			return fmt.Errorf("app: stress %s = %g outside [0,1]", Resource(r), x)
+		}
+	}
+	return nil
+}
+
+// Bottleneck returns the most-stressed resource.
+func (v StressVector) Bottleneck() Resource {
+	best := Resource(0)
+	for r := Resource(1); r < NumResources; r++ {
+		if v[r] > v[best] {
+			best = r
+		}
+	}
+	return best
+}
+
+// Complementarity scores how well two stress vectors fit on one node:
+// 1 means the pair's combined demand never exceeds capacity on any resource,
+// lower values indicate overlap on the pair's hottest shared resource.
+// Sharing policies use this to pick co-location partners.
+func Complementarity(a, b StressVector) float64 {
+	worst := 0.0
+	for r := Resource(0); r < NumResources; r++ {
+		over := a[r] + b[r] - 1
+		if over > worst {
+			worst = over
+		}
+	}
+	// Combined demand can exceed capacity by at most 1 (both saturating).
+	return 1 - worst
+}
+
+// Model is the analytic description of one application.
+type Model struct {
+	// Name is the mini-app identifier, e.g. "minife".
+	Name string
+	// Description is a one-line human-readable summary.
+	Description string
+	// Stress is the resource-stress vector at one rank per core.
+	Stress StressVector
+	// MemPerNodeMB is the resident memory footprint per node. Footprints are
+	// sized against the Trinity 128 GiB nodes so that most pairs co-fit but
+	// large-memory apps forbid co-allocation (the memory guard matters).
+	MemPerNodeMB int
+	// MeanRuntime is the mean dedicated-node runtime in seconds used by the
+	// workload generator; actual jobs draw from a log-normal around it.
+	MeanRuntime float64
+	// RuntimeCV is the coefficient of variation of runtime draws.
+	RuntimeCV float64
+	// TypicalNodes lists the node counts jobs of this app commonly request;
+	// the generator picks among them.
+	TypicalNodes []int
+}
+
+// Validate checks model invariants.
+func (m Model) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("app: model without name")
+	}
+	if err := m.Stress.Validate(); err != nil {
+		return fmt.Errorf("app %s: %w", m.Name, err)
+	}
+	if m.MemPerNodeMB <= 0 {
+		return fmt.Errorf("app %s: non-positive memory footprint %d", m.Name, m.MemPerNodeMB)
+	}
+	if m.MeanRuntime <= 0 {
+		return fmt.Errorf("app %s: non-positive mean runtime %g", m.Name, m.MeanRuntime)
+	}
+	if m.RuntimeCV < 0 {
+		return fmt.Errorf("app %s: negative runtime CV %g", m.Name, m.RuntimeCV)
+	}
+	if len(m.TypicalNodes) == 0 {
+		return fmt.Errorf("app %s: no typical node counts", m.Name)
+	}
+	for _, n := range m.TypicalNodes {
+		if n <= 0 {
+			return fmt.Errorf("app %s: non-positive node count %d", m.Name, n)
+		}
+	}
+	return nil
+}
+
+// Bottleneck returns the app's most-stressed resource.
+func (m Model) Bottleneck() Resource { return m.Stress.Bottleneck() }
+
+// catalogue is the Trinity mini-app set. Stress vectors follow the suite's
+// published characteristics:
+//
+//	miniFE    sparse FE solve            — memory-bandwidth-bound
+//	miniMD    molecular dynamics         — compute-bound
+//	SNAP      Sn neutron transport       — bandwidth- and cache-heavy
+//	AMG       algebraic multigrid        — bandwidth-bound, network-sensitive
+//	UMT       unstructured mesh transport— compute- and cache-heavy
+//	GTC       gyrokinetic turbulence     — compute-leaning mixed
+//	MILC      lattice QCD                — bandwidth- and network-heavy
+//	miniGhost halo-exchange stencil      — network-heavy stencil
+var catalogue = []Model{
+	{
+		Name:         "minife",
+		Description:  "implicit finite elements (sparse CG solve), memory-bandwidth-bound",
+		Stress:       StressVector{0.45, 0.90, 0.55, 0.30},
+		MemPerNodeMB: 48 * 1024,
+		MeanRuntime:  3 * 3600, RuntimeCV: 0.35,
+		TypicalNodes: []int{1, 2, 4, 8},
+	},
+	{
+		Name:         "minimd",
+		Description:  "molecular dynamics (Lennard-Jones), compute-bound",
+		Stress:       StressVector{0.92, 0.35, 0.40, 0.25},
+		MemPerNodeMB: 24 * 1024,
+		MeanRuntime:  4 * 3600, RuntimeCV: 0.40,
+		TypicalNodes: []int{1, 2, 4, 8, 16},
+	},
+	{
+		Name:         "snap",
+		Description:  "discrete-ordinates neutron transport, bandwidth- and cache-heavy",
+		Stress:       StressVector{0.55, 0.80, 0.70, 0.35},
+		MemPerNodeMB: 56 * 1024,
+		MeanRuntime:  2.5 * 3600, RuntimeCV: 0.30,
+		TypicalNodes: []int{2, 4, 8, 16},
+	},
+	{
+		Name:         "amg",
+		Description:  "algebraic multigrid solver, bandwidth-bound and network-sensitive",
+		Stress:       StressVector{0.40, 0.85, 0.60, 0.55},
+		MemPerNodeMB: 40 * 1024,
+		MeanRuntime:  2 * 3600, RuntimeCV: 0.35,
+		TypicalNodes: []int{1, 2, 4, 8},
+	},
+	{
+		Name:         "umt",
+		Description:  "unstructured-mesh deterministic transport, compute- and cache-heavy",
+		Stress:       StressVector{0.80, 0.55, 0.65, 0.40},
+		MemPerNodeMB: 64 * 1024,
+		MeanRuntime:  5 * 3600, RuntimeCV: 0.30,
+		TypicalNodes: []int{2, 4, 8},
+	},
+	{
+		Name:         "gtc",
+		Description:  "gyrokinetic toroidal turbulence, compute-leaning with scatter/gather",
+		Stress:       StressVector{0.75, 0.60, 0.50, 0.45},
+		MemPerNodeMB: 32 * 1024,
+		MeanRuntime:  6 * 3600, RuntimeCV: 0.45,
+		TypicalNodes: []int{4, 8, 16},
+	},
+	{
+		Name:         "milc",
+		Description:  "lattice QCD (staggered fermions), bandwidth- and network-heavy",
+		Stress:       StressVector{0.50, 0.88, 0.45, 0.60},
+		MemPerNodeMB: 36 * 1024,
+		MeanRuntime:  8 * 3600, RuntimeCV: 0.50,
+		TypicalNodes: []int{4, 8, 16, 32},
+	},
+	{
+		Name:         "minighost",
+		Description:  "finite-difference stencil with halo exchange, network-heavy",
+		Stress:       StressVector{0.45, 0.75, 0.50, 0.70},
+		MemPerNodeMB: 28 * 1024,
+		MeanRuntime:  1.5 * 3600, RuntimeCV: 0.30,
+		TypicalNodes: []int{1, 2, 4},
+	},
+}
+
+// Catalogue returns the Trinity mini-app models, sorted by name. The slice
+// is a fresh copy; callers may modify it.
+func Catalogue() []Model {
+	out := make([]Model, len(catalogue))
+	copy(out, catalogue)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ByName returns the model with the given name.
+func ByName(name string) (Model, error) {
+	for _, m := range catalogue {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Model{}, fmt.Errorf("app: unknown application %q", name)
+}
+
+// Names returns the catalogue's application names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(catalogue))
+	for _, m := range catalogue {
+		out = append(out, m.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Synthetic returns an app model with the given bottleneck profile, used by
+// tests and the mix-sensitivity experiment to construct extreme workloads.
+func Synthetic(name string, stress StressVector, memMB int, meanRuntime float64) Model {
+	return Model{
+		Name:         name,
+		Description:  "synthetic " + name,
+		Stress:       stress,
+		MemPerNodeMB: memMB,
+		MeanRuntime:  meanRuntime,
+		RuntimeCV:    0.3,
+		TypicalNodes: []int{1, 2, 4},
+	}
+}

@@ -1,0 +1,203 @@
+package app
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCatalogueValid(t *testing.T) {
+	cat := Catalogue()
+	if len(cat) < 6 {
+		t.Fatalf("catalogue has %d apps, want the Trinity set (≥6)", len(cat))
+	}
+	for _, m := range cat {
+		if err := m.Validate(); err != nil {
+			t.Errorf("catalogue model invalid: %v", err)
+		}
+	}
+}
+
+func TestCatalogueSortedAndCopied(t *testing.T) {
+	cat := Catalogue()
+	for i := 1; i < len(cat); i++ {
+		if cat[i-1].Name >= cat[i].Name {
+			t.Fatalf("catalogue not sorted: %q before %q", cat[i-1].Name, cat[i].Name)
+		}
+	}
+	cat[0].Name = "mutated"
+	if Catalogue()[0].Name == "mutated" {
+		t.Fatal("Catalogue returns shared backing storage")
+	}
+}
+
+func TestByName(t *testing.T) {
+	m, err := ByName("minife")
+	if err != nil {
+		t.Fatalf("ByName(minife): %v", err)
+	}
+	if m.Name != "minife" {
+		t.Fatalf("got %q", m.Name)
+	}
+	if _, err := ByName("no-such-app"); err == nil {
+		t.Fatal("ByName accepted unknown app")
+	}
+}
+
+func TestNamesMatchesCatalogue(t *testing.T) {
+	names := Names()
+	cat := Catalogue()
+	if len(names) != len(cat) {
+		t.Fatalf("Names()=%d entries, catalogue=%d", len(names), len(cat))
+	}
+	for i := range names {
+		if names[i] != cat[i].Name {
+			t.Fatalf("Names[%d]=%q, catalogue[%d]=%q", i, names[i], i, cat[i].Name)
+		}
+	}
+}
+
+func TestExpectedBottlenecks(t *testing.T) {
+	// The catalogue must encode the suite's published characters: miniMD is
+	// compute-bound, miniFE bandwidth-bound, miniGhost network-heavy among
+	// its non-CPU components.
+	cases := map[string]Resource{
+		"minimd": CPU,
+		"minife": MemBW,
+		"amg":    MemBW,
+		"milc":   MemBW,
+		"umt":    CPU,
+	}
+	for name, want := range cases {
+		m, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Bottleneck(); got != want {
+			t.Errorf("%s bottleneck = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestStressVectorValidate(t *testing.T) {
+	good := StressVector{0, 0.5, 1, 0.25}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid vector rejected: %v", err)
+	}
+	for _, v := range []StressVector{
+		{-0.1, 0, 0, 0},
+		{0, 1.1, 0, 0},
+	} {
+		if err := v.Validate(); err == nil {
+			t.Errorf("invalid vector %v accepted", v)
+		}
+	}
+}
+
+func TestModelValidateRejectsBadModels(t *testing.T) {
+	base := Synthetic("x", StressVector{0.5, 0.5, 0.5, 0.5}, 1024, 100)
+	if err := base.Validate(); err != nil {
+		t.Fatalf("synthetic model invalid: %v", err)
+	}
+	mutations := []func(*Model){
+		func(m *Model) { m.Name = "" },
+		func(m *Model) { m.Stress[0] = 2 },
+		func(m *Model) { m.MemPerNodeMB = 0 },
+		func(m *Model) { m.MeanRuntime = 0 },
+		func(m *Model) { m.RuntimeCV = -1 },
+		func(m *Model) { m.TypicalNodes = nil },
+		func(m *Model) { m.TypicalNodes = []int{0} },
+	}
+	for i, mutate := range mutations {
+		m := base
+		m.TypicalNodes = append([]int(nil), base.TypicalNodes...)
+		mutate(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestComplementarityExtremes(t *testing.T) {
+	cpu := StressVector{0.95, 0.1, 0.1, 0.1}
+	bw := StressVector{0.1, 0.95, 0.1, 0.1}
+	// Orthogonal bottlenecks: combined demand stays near/below capacity.
+	if c := Complementarity(cpu, bw); c < 0.9 {
+		t.Fatalf("orthogonal pair complementarity = %g, want ≥0.9", c)
+	}
+	// Identical saturating bottleneck: strongly negative fit.
+	if c := Complementarity(bw, bw); c > 0.2 {
+		t.Fatalf("same-bottleneck pair complementarity = %g, want ≤0.2", c)
+	}
+	// Complementarity is symmetric.
+	if Complementarity(cpu, bw) != Complementarity(bw, cpu) {
+		t.Fatal("Complementarity not symmetric")
+	}
+}
+
+func TestComplementarityOrdering(t *testing.T) {
+	// miniMD (compute-bound) must pair better with miniFE (bandwidth-bound)
+	// than miniFE pairs with MILC (both bandwidth-bound).
+	md, _ := ByName("minimd")
+	fe, _ := ByName("minife")
+	milc, _ := ByName("milc")
+	good := Complementarity(md.Stress, fe.Stress)
+	bad := Complementarity(fe.Stress, milc.Stress)
+	if good <= bad {
+		t.Fatalf("complementarity(minimd,minife)=%g not > complementarity(minife,milc)=%g", good, bad)
+	}
+}
+
+func TestResourceString(t *testing.T) {
+	cases := map[Resource]string{CPU: "cpu", MemBW: "membw", Cache: "cache", Network: "net"}
+	for r, want := range cases {
+		if r.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(r), r.String(), want)
+		}
+	}
+	if Resource(99).String() == "" {
+		t.Error("unknown resource has empty String()")
+	}
+}
+
+// Property: complementarity is symmetric and bounded in [0, 1] for valid
+// vectors.
+func TestProperty_Complementarity(t *testing.T) {
+	clamp := func(x float64) float64 {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return 0
+		}
+		return math.Abs(math.Mod(x, 1))
+	}
+	f := func(a0, a1, a2, a3, b0, b1, b2, b3 float64) bool {
+		a := StressVector{clamp(a0), clamp(a1), clamp(a2), clamp(a3)}
+		b := StressVector{clamp(b0), clamp(b1), clamp(b2), clamp(b3)}
+		c := Complementarity(a, b)
+		if c != Complementarity(b, a) {
+			return false
+		}
+		return c >= 0 && c <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: bottleneck is always the argmax component.
+func TestProperty_Bottleneck(t *testing.T) {
+	f := func(a0, a1, a2, a3 uint8) bool {
+		v := StressVector{
+			float64(a0) / 255, float64(a1) / 255, float64(a2) / 255, float64(a3) / 255,
+		}
+		b := v.Bottleneck()
+		for r := Resource(0); r < NumResources; r++ {
+			if v[r] > v[b] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,392 @@
+// Package cluster models an HPC machine at hardware-thread granularity.
+//
+// The model mirrors the sharing granularity studied by the paper: nodes are
+// built from cores, each core exposes ThreadsPerCore hardware threads
+// (2 on the evaluated SMT/hyper-threading systems), and node sharing means
+// co-allocating a second job onto the sibling hardware threads of cores whose
+// primary threads are already owned by another job. The package is pure
+// resource accounting — it knows nothing about time, applications, or
+// policies; those live in higher layers.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// JobID identifies a job for allocation accounting. IDs are assigned by the
+// job layer; 0 is reserved as "no owner".
+type JobID int64
+
+// NoJob marks an unallocated hardware thread.
+const NoJob JobID = 0
+
+// Config describes a homogeneous cluster. Homogeneity matches the evaluated
+// system (a uniform partition of SMT-capable nodes); heterogeneous machines
+// can be modeled as multiple clusters behind one scheduler if ever needed.
+type Config struct {
+	// Nodes is the number of compute nodes.
+	Nodes int
+	// CoresPerNode is the number of physical cores per node.
+	CoresPerNode int
+	// ThreadsPerCore is the SMT width (2 for the hyper-threading systems the
+	// paper evaluates; 1 disables sharing-by-oversubscription entirely).
+	ThreadsPerCore int
+	// MemoryPerNodeMB is the usable memory per node in MiB. Memory is the
+	// resource that most often forbids co-allocation in practice, so it is
+	// tracked explicitly.
+	MemoryPerNodeMB int
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes <= 0:
+		return fmt.Errorf("cluster: config needs at least one node, got %d", c.Nodes)
+	case c.CoresPerNode <= 0:
+		return fmt.Errorf("cluster: config needs at least one core per node, got %d", c.CoresPerNode)
+	case c.ThreadsPerCore <= 0:
+		return fmt.Errorf("cluster: config needs at least one thread per core, got %d", c.ThreadsPerCore)
+	case c.MemoryPerNodeMB <= 0:
+		return fmt.Errorf("cluster: config needs positive node memory, got %d MB", c.MemoryPerNodeMB)
+	}
+	return nil
+}
+
+// ThreadsPerNode returns the total hardware threads a node exposes.
+func (c Config) ThreadsPerNode() int { return c.CoresPerNode * c.ThreadsPerCore }
+
+// TotalThreads returns the hardware-thread capacity of the whole machine.
+func (c Config) TotalThreads() int { return c.Nodes * c.ThreadsPerNode() }
+
+// Trinity returns a configuration modeled after a Trinity-class partition:
+// dual-socket 16-core nodes (32 cores), 2-way SMT, 128 GiB of memory.
+// n selects the number of nodes.
+func Trinity(n int) Config {
+	return Config{Nodes: n, CoresPerNode: 32, ThreadsPerCore: 2, MemoryPerNodeMB: 128 * 1024}
+}
+
+// Node is one compute node. Hardware threads are indexed
+// core*ThreadsPerCore + sibling, so the primary thread of core c is index
+// c*tpc and its SMT siblings follow immediately.
+type Node struct {
+	id    int
+	cores int
+	tpc   int
+	memMB int
+
+	owner   []JobID       // per hardware thread; NoJob when free
+	memUsed map[JobID]int // per-job resident memory on this node, MB
+	threads map[JobID]int // per-job allocated thread count on this node
+	free    int           // free hardware threads
+	drained bool          // administratively removed from scheduling
+}
+
+func newNode(id int, cfg Config) *Node {
+	n := &Node{
+		id:      id,
+		cores:   cfg.CoresPerNode,
+		tpc:     cfg.ThreadsPerCore,
+		memMB:   cfg.MemoryPerNodeMB,
+		owner:   make([]JobID, cfg.ThreadsPerNode()),
+		memUsed: make(map[JobID]int),
+		threads: make(map[JobID]int),
+	}
+	n.free = len(n.owner)
+	return n
+}
+
+// ID returns the node's index within the cluster.
+func (n *Node) ID() int { return n.id }
+
+// Cores returns the number of physical cores.
+func (n *Node) Cores() int { return n.cores }
+
+// ThreadsPerCore returns the SMT width.
+func (n *Node) ThreadsPerCore() int { return n.tpc }
+
+// Threads returns the number of hardware threads.
+func (n *Node) Threads() int { return len(n.owner) }
+
+// MemoryMB returns the node's total memory.
+func (n *Node) MemoryMB() int { return n.memMB }
+
+// FreeThreads returns the number of unallocated hardware threads.
+func (n *Node) FreeThreads() int { return n.free }
+
+// Idle reports whether no job holds any thread on the node.
+func (n *Node) Idle() bool { return n.free == len(n.owner) }
+
+// Drained reports whether the node is administratively removed from
+// scheduling (running jobs keep their allocations; no new work lands).
+func (n *Node) Drained() bool { return n.drained }
+
+// MemFreeMB returns the unreserved memory on the node.
+func (n *Node) MemFreeMB() int {
+	used := 0
+	for _, m := range n.memUsed {
+		used += m
+	}
+	return n.memMB - used
+}
+
+// Owner returns the job holding hardware thread t, or NoJob.
+func (n *Node) Owner(t int) JobID { return n.owner[t] }
+
+// CoreOf returns the physical core that hardware thread t belongs to.
+func (n *Node) CoreOf(t int) int { return t / n.tpc }
+
+// SiblingOf returns the s-th sibling thread index on the same core as t.
+func (n *Node) SiblingOf(t, s int) int { return n.CoreOf(t)*n.tpc + s }
+
+// Jobs returns the IDs of jobs holding at least one thread, in ascending
+// order (deterministic for scheduling and tests).
+func (n *Node) Jobs() []JobID {
+	ids := make([]JobID, 0, len(n.threads))
+	for id := range n.threads {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// JobThreads returns the hardware threads job id holds on this node,
+// ascending.
+func (n *Node) JobThreads(id JobID) []int {
+	if n.threads[id] == 0 {
+		return nil
+	}
+	out := make([]int, 0, n.threads[id])
+	for t, o := range n.owner {
+		if o == id {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// JobMemoryMB returns the memory reserved by job id on this node.
+func (n *Node) JobMemoryMB(id JobID) int { return n.memUsed[id] }
+
+// SharingDegree returns the number of distinct jobs on the node; 0 means
+// idle, 1 exclusive, ≥2 shared.
+func (n *Node) SharingDegree() int { return len(n.threads) }
+
+// FreeSiblingThreads returns the hardware threads of layer `sibling`
+// (0 = primary, 1 = first SMT sibling, ...) that are currently free,
+// ascending. It panics if sibling is out of range for the SMT width.
+func (n *Node) FreeSiblingThreads(sibling int) []int {
+	if sibling < 0 || sibling >= n.tpc {
+		panic(fmt.Sprintf("cluster: sibling %d out of range (threads/core %d)", sibling, n.tpc))
+	}
+	var out []int
+	for c := 0; c < n.cores; c++ {
+		t := c*n.tpc + sibling
+		if n.owner[t] == NoJob {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Errors returned by allocation operations.
+var (
+	ErrThreadBusy  = errors.New("cluster: hardware thread already allocated")
+	ErrNoMemory    = errors.New("cluster: insufficient node memory")
+	ErrUnknownNode = errors.New("cluster: node index out of range")
+	ErrUnknownJob  = errors.New("cluster: job holds no allocation")
+	ErrBadPlace    = errors.New("cluster: malformed placement")
+	ErrDrained     = errors.New("cluster: node is drained")
+)
+
+// NodePlacement is one node's share of a placement: which hardware threads a
+// job binds to and how much node memory it reserves.
+type NodePlacement struct {
+	Node     int
+	Threads  []int
+	MemoryMB int
+}
+
+// Placement is a job's complete allocation across nodes.
+type Placement struct {
+	Job   JobID
+	Nodes []NodePlacement
+}
+
+// TotalThreads returns the number of hardware threads the placement binds.
+func (p Placement) TotalThreads() int {
+	n := 0
+	for _, np := range p.Nodes {
+		n += len(np.Threads)
+	}
+	return n
+}
+
+// NodeIDs returns the distinct node indices the placement touches, in
+// placement order.
+func (p Placement) NodeIDs() []int {
+	out := make([]int, 0, len(p.Nodes))
+	for _, np := range p.Nodes {
+		out = append(out, np.Node)
+	}
+	return out
+}
+
+// Cluster is the full machine: a set of nodes plus allocation indexes.
+// It is not safe for concurrent use; the simulation is single-threaded.
+type Cluster struct {
+	cfg   Config
+	nodes []*Node
+	// jobNodes tracks which node indices each job occupies.
+	jobNodes map[JobID][]int
+}
+
+// New builds a cluster from cfg. It panics on invalid configuration: cluster
+// construction happens at program start from validated config, so an invalid
+// config is a programming error, not an operational one.
+func New(cfg Config) *Cluster {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Cluster{cfg: cfg, jobNodes: make(map[JobID][]int)}
+	c.nodes = make([]*Node, cfg.Nodes)
+	for i := range c.nodes {
+		c.nodes[i] = newNode(i, cfg)
+	}
+	return c
+}
+
+// Config returns the cluster's configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Size returns the number of nodes.
+func (c *Cluster) Size() int { return len(c.nodes) }
+
+// Node returns node i. It panics if i is out of range (iteration bugs are
+// programming errors).
+func (c *Cluster) Node(i int) *Node {
+	if i < 0 || i >= len(c.nodes) {
+		panic(fmt.Sprintf("%v: %d (cluster has %d nodes)", ErrUnknownNode, i, len(c.nodes)))
+	}
+	return c.nodes[i]
+}
+
+// Allocate validates and commits a placement atomically: either every thread
+// and memory reservation in p is applied, or the cluster is unchanged and an
+// error describes the first conflict found.
+func (c *Cluster) Allocate(p Placement) error {
+	if p.Job == NoJob {
+		return fmt.Errorf("%w: placement for NoJob", ErrBadPlace)
+	}
+	if len(p.Nodes) == 0 {
+		return fmt.Errorf("%w: empty placement for job %d", ErrBadPlace, p.Job)
+	}
+	// Phase 1: validate everything.
+	seenNode := make(map[int]bool, len(p.Nodes))
+	for _, np := range p.Nodes {
+		if np.Node < 0 || np.Node >= len(c.nodes) {
+			return fmt.Errorf("%w: %d", ErrUnknownNode, np.Node)
+		}
+		if seenNode[np.Node] {
+			return fmt.Errorf("%w: node %d listed twice for job %d", ErrBadPlace, np.Node, p.Job)
+		}
+		seenNode[np.Node] = true
+		if c.nodes[np.Node].drained {
+			return fmt.Errorf("%w: node %d", ErrDrained, np.Node)
+		}
+		if len(np.Threads) == 0 {
+			return fmt.Errorf("%w: no threads on node %d for job %d", ErrBadPlace, np.Node, p.Job)
+		}
+		if np.MemoryMB < 0 {
+			return fmt.Errorf("%w: negative memory on node %d", ErrBadPlace, np.Node)
+		}
+		n := c.nodes[np.Node]
+		seenThread := make(map[int]bool, len(np.Threads))
+		for _, t := range np.Threads {
+			if t < 0 || t >= n.Threads() {
+				return fmt.Errorf("%w: thread %d out of range on node %d", ErrBadPlace, t, np.Node)
+			}
+			if seenThread[t] {
+				return fmt.Errorf("%w: thread %d listed twice on node %d", ErrBadPlace, t, np.Node)
+			}
+			seenThread[t] = true
+			if n.owner[t] != NoJob {
+				return fmt.Errorf("%w: node %d thread %d held by job %d",
+					ErrThreadBusy, np.Node, t, n.owner[t])
+			}
+		}
+		if np.MemoryMB > n.MemFreeMB() {
+			return fmt.Errorf("%w: node %d has %d MB free, need %d MB",
+				ErrNoMemory, np.Node, n.MemFreeMB(), np.MemoryMB)
+		}
+	}
+	// Phase 2: commit.
+	for _, np := range p.Nodes {
+		n := c.nodes[np.Node]
+		for _, t := range np.Threads {
+			n.owner[t] = p.Job
+		}
+		n.free -= len(np.Threads)
+		n.threads[p.Job] += len(np.Threads)
+		n.memUsed[p.Job] += np.MemoryMB
+		c.jobNodes[p.Job] = append(c.jobNodes[p.Job], np.Node)
+	}
+	return nil
+}
+
+// Release frees every resource held by job id across the cluster and returns
+// the node indices that were touched. Releasing an unknown job returns
+// ErrUnknownJob.
+func (c *Cluster) Release(id JobID) ([]int, error) {
+	nodes, ok := c.jobNodes[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: job %d", ErrUnknownJob, id)
+	}
+	for _, ni := range nodes {
+		n := c.nodes[ni]
+		for t, o := range n.owner {
+			if o == id {
+				n.owner[t] = NoJob
+				n.free++
+			}
+		}
+		delete(n.threads, id)
+		delete(n.memUsed, id)
+	}
+	delete(c.jobNodes, id)
+	return nodes, nil
+}
+
+// JobNodes returns the node indices job id occupies, in allocation order,
+// or nil if the job holds nothing.
+func (c *Cluster) JobNodes(id JobID) []int {
+	nodes := c.jobNodes[id]
+	out := make([]int, len(nodes))
+	copy(out, nodes)
+	return out
+}
+
+// Holds reports whether job id currently holds any resources.
+func (c *Cluster) Holds(id JobID) bool {
+	_, ok := c.jobNodes[id]
+	return ok
+}
+
+// SetDrained marks node ni as drained (true) or schedulable (false).
+// Draining does not disturb running allocations; it only stops new
+// placements from landing there.
+func (c *Cluster) SetDrained(ni int, drained bool) {
+	c.Node(ni).drained = drained
+}
+
+// DrainedNodes returns the indices of drained nodes, ascending.
+func (c *Cluster) DrainedNodes() []int {
+	var out []int
+	for i, n := range c.nodes {
+		if n.drained {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package cluster
+
+import "fmt"
+
+// Layer selects one hardware-thread layer of a node: layer 0 is the set of
+// primary threads (one per core), layer 1 the set of first SMT siblings, and
+// so on. The paper's sharing strategies allocate whole layers: a job runs one
+// process/thread per core, and a co-allocated job binds to the sibling layer
+// of the same cores, oversubscribing them through hyper-threading.
+type Layer int
+
+// Common layers on 2-way SMT machines.
+const (
+	PrimaryLayer   Layer = 0
+	SecondaryLayer Layer = 1
+)
+
+// LayerFree reports whether every thread of the given layer is free on node
+// ni.
+func (c *Cluster) LayerFree(ni int, l Layer) bool {
+	n := c.Node(ni)
+	if int(l) < 0 || int(l) >= n.tpc {
+		return false
+	}
+	return len(n.FreeSiblingThreads(int(l))) == n.cores
+}
+
+// LayerThreads returns the thread indices making up layer l on node ni.
+func (c *Cluster) LayerThreads(ni int, l Layer) []int {
+	n := c.Node(ni)
+	if int(l) < 0 || int(l) >= n.tpc {
+		panic(fmt.Sprintf("cluster: layer %d out of range (threads/core %d)", l, n.tpc))
+	}
+	out := make([]int, n.cores)
+	for core := 0; core < n.cores; core++ {
+		out[core] = core*n.tpc + int(l)
+	}
+	return out
+}
+
+// ExclusivePlacement builds a placement giving job id every hardware thread
+// and memMB of memory on each listed node — the standard node allocation the
+// paper's baselines use.
+func (c *Cluster) ExclusivePlacement(id JobID, nodes []int, memPerNodeMB int) Placement {
+	p := Placement{Job: id}
+	for _, ni := range nodes {
+		n := c.Node(ni)
+		threads := make([]int, n.Threads())
+		for t := range threads {
+			threads[t] = t
+		}
+		p.Nodes = append(p.Nodes, NodePlacement{Node: ni, Threads: threads, MemoryMB: memPerNodeMB})
+	}
+	return p
+}
+
+// LayerPlacement builds a placement giving job id one hardware-thread layer
+// and memMB of memory on each listed node — the allocation unit of the
+// sharing strategies.
+func (c *Cluster) LayerPlacement(id JobID, nodes []int, l Layer, memPerNodeMB int) Placement {
+	p := Placement{Job: id}
+	for _, ni := range nodes {
+		p.Nodes = append(p.Nodes, NodePlacement{
+			Node: ni, Threads: c.LayerThreads(ni, l), MemoryMB: memPerNodeMB,
+		})
+	}
+	return p
+}
+
+// IdleNodes returns the indices of fully idle, schedulable (not drained)
+// nodes, ascending.
+func (c *Cluster) IdleNodes() []int {
+	var out []int
+	for i, n := range c.nodes {
+		if n.Idle() && !n.drained {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// CountIdle returns the number of fully idle, schedulable nodes.
+func (c *Cluster) CountIdle() int {
+	k := 0
+	for _, n := range c.nodes {
+		if n.Idle() && !n.drained {
+			k++
+		}
+	}
+	return k
+}
+
+// ShareCandidates returns the indices of nodes where layer l is entirely
+// free, at least memMB of memory is available, and the node is not idle
+// (i.e. a co-allocation target: someone is already there). Ascending order.
+func (c *Cluster) ShareCandidates(l Layer, memMB int) []int {
+	var out []int
+	for i, n := range c.nodes {
+		if n.Idle() || n.drained {
+			continue
+		}
+		if !c.LayerFree(i, l) {
+			continue
+		}
+		if n.MemFreeMB() < memMB {
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+// BusyThreads returns the number of allocated hardware threads cluster-wide.
+func (c *Cluster) BusyThreads() int {
+	busy := 0
+	for _, n := range c.nodes {
+		busy += n.Threads() - n.FreeThreads()
+	}
+	return busy
+}
+
+// BusyNodes returns the number of nodes with at least one allocated thread.
+func (c *Cluster) BusyNodes() int {
+	busy := 0
+	for _, n := range c.nodes {
+		if !n.Idle() {
+			busy++
+		}
+	}
+	return busy
+}
+
+// SharedNodes returns the number of nodes occupied by two or more jobs.
+func (c *Cluster) SharedNodes() int {
+	shared := 0
+	for _, n := range c.nodes {
+		if n.SharingDegree() >= 2 {
+			shared++
+		}
+	}
+	return shared
+}
+
+// Utilization returns the fraction of hardware threads allocated, in [0, 1].
+func (c *Cluster) Utilization() float64 {
+	total := c.cfg.TotalThreads()
+	if total == 0 {
+		return 0
+	}
+	return float64(c.BusyThreads()) / float64(total)
+}
+
+// NodeUtilization returns the fraction of nodes busy, in [0, 1].
+func (c *Cluster) NodeUtilization() float64 {
+	if len(c.nodes) == 0 {
+		return 0
+	}
+	return float64(c.BusyNodes()) / float64(len(c.nodes))
+}

@@ -1,0 +1,17 @@
+package core
+
+import (
+	"repro/internal/app"
+	"repro/internal/sched"
+)
+
+// appByName resolves a catalogue application.
+func appByName(name string) (app.Model, error) {
+	return app.ByName(name)
+}
+
+// Apps returns the names of the available catalogue applications.
+func Apps() []string { return app.Names() }
+
+// Policies returns the names of the available scheduling policies.
+func Policies() []string { return sched.Names() }

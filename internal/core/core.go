@@ -1,0 +1,238 @@
+// Package core is the library façade: a complete node-sharing batch system
+// assembled from the machine model, a scheduling policy, the interference
+// model, and the discrete-event engine. Examples and command-line tools
+// build on this package; research code that needs finer control uses the
+// underlying packages directly.
+//
+// Usage:
+//
+//	sys, err := core.NewSystem(core.Config{
+//		Machine: cluster.Trinity(32),
+//		Policy:  "sharebackfill",
+//	})
+//	id, err := sys.Submit(core.JobSpec{App: "minife", Nodes: 4, Walltime: 2 * des.Hour})
+//	sys.Run()
+//	fmt.Println(sys.Metrics())
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/des"
+	"repro/internal/interference"
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Config assembles a System.
+type Config struct {
+	// Machine describes the cluster; the zero value selects a 32-node
+	// Trinity-class partition.
+	Machine cluster.Config
+	// Policy names the scheduling policy (see sched.Names); empty selects
+	// "sharebackfill", the paper's primary strategy.
+	Policy string
+	// Sharing tunes the sharing policies; the zero value selects
+	// sched.DefaultShareConfig().
+	Sharing *sched.ShareConfig
+	// Interference overrides the co-run model parameters; nil selects
+	// interference.DefaultParams().
+	Interference *interference.Params
+	// Topology enables the interconnect model (nil = transparent network).
+	Topology *topology.Topology
+	// LocalityAware makes the scheduler order idle candidates compactly;
+	// requires Topology.
+	LocalityAware bool
+	// StrictLimits kills jobs at their requested walltime instead of
+	// extending limits by the sharing-induced inflation.
+	StrictLimits bool
+	// MeasuredPairs installs empirical co-run measurements that override
+	// the analytic interference model for matching two-job co-locations
+	// (see interference.ParseCoRunCSV for the file format).
+	MeasuredPairs []interference.MeasuredPair
+}
+
+// JobSpec is a user-level submission.
+type JobSpec struct {
+	// App names a catalogue application (app.Names).
+	App string
+	// Nodes is the whole-node request.
+	Nodes int
+	// Walltime is the requested time limit.
+	Walltime des.Duration
+	// Runtime is the job's actual dedicated-node runtime; zero defaults to
+	// 60% of the walltime (a typical overestimation ratio).
+	Runtime des.Duration
+	// At is the submission time; zero submits at the current clock.
+	At des.Time
+	// Name labels the job; empty derives "<app>-<id>".
+	Name string
+	// After lists job IDs that must finish before this job may start
+	// (sbatch --dependency=afterok).
+	After []cluster.JobID
+}
+
+// System is one batch-system instance.
+type System struct {
+	engine *sim.Engine
+	nextID cluster.JobID
+	byID   map[cluster.JobID]*job.Job
+}
+
+// NewSystem builds a system from cfg.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.Machine == (cluster.Config{}) {
+		cfg.Machine = cluster.Trinity(32)
+	}
+	if err := cfg.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = "sharebackfill"
+	}
+	share := sched.DefaultShareConfig()
+	if cfg.Sharing != nil {
+		share = *cfg.Sharing
+	}
+	pol, err := sched.New(cfg.Policy, share)
+	if err != nil {
+		return nil, err
+	}
+	inter := interference.Default()
+	if cfg.Interference != nil {
+		inter = interference.New(*cfg.Interference)
+	}
+	if len(cfg.MeasuredPairs) > 0 {
+		if err := inter.SetMeasured(cfg.MeasuredPairs); err != nil {
+			return nil, err
+		}
+	}
+	return &System{
+		engine: sim.New(sim.Config{
+			Cluster: cfg.Machine, Policy: pol, Inter: inter,
+			Topo: cfg.Topology, LocalityAware: cfg.LocalityAware,
+			StrictLimits: cfg.StrictLimits,
+		}),
+		byID: make(map[cluster.JobID]*job.Job),
+	}, nil
+}
+
+// Submit enqueues a job from a user-level spec and returns its ID.
+func (s *System) Submit(spec JobSpec) (cluster.JobID, error) {
+	j, err := s.build(spec)
+	if err != nil {
+		return cluster.NoJob, err
+	}
+	if err := s.engine.Submit(j); err != nil {
+		return cluster.NoJob, err
+	}
+	s.byID[j.ID] = j
+	return j.ID, nil
+}
+
+// SubmitJob enqueues a fully specified job (e.g. from the workload
+// generator or an SWF trace). The job's ID must be unique within the system.
+func (s *System) SubmitJob(j *job.Job) error {
+	if _, dup := s.byID[j.ID]; dup {
+		return fmt.Errorf("core: duplicate job ID %d", j.ID)
+	}
+	if err := s.engine.Submit(j); err != nil {
+		return err
+	}
+	s.byID[j.ID] = j
+	if j.ID >= s.nextID {
+		s.nextID = j.ID
+	}
+	return nil
+}
+
+// SubmitJobs enqueues a batch, stopping at the first error.
+func (s *System) SubmitJobs(jobs []*job.Job) error {
+	for _, j := range jobs {
+		if err := s.SubmitJob(j); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *System) build(spec JobSpec) (*job.Job, error) {
+	a, err := appByName(spec.App)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Walltime <= 0 {
+		return nil, fmt.Errorf("core: job needs a positive walltime, got %v", spec.Walltime)
+	}
+	runtime := spec.Runtime
+	if runtime == 0 {
+		runtime = spec.Walltime * 6 / 10
+	}
+	at := spec.At
+	if at == 0 {
+		at = s.engine.Now()
+	}
+	s.nextID++
+	name := spec.Name
+	if name == "" {
+		name = fmt.Sprintf("%s-%d", spec.App, s.nextID)
+	}
+	return &job.Job{
+		ID:          s.nextID,
+		Name:        name,
+		App:         a,
+		Nodes:       spec.Nodes,
+		ReqWalltime: spec.Walltime,
+		TrueRuntime: runtime,
+		Submit:      at,
+		After:       spec.After,
+	}, nil
+}
+
+// Run executes the simulation to completion.
+func (s *System) Run() { s.engine.RunAll() }
+
+// RunUntil executes the simulation up to the given simulated time.
+func (s *System) RunUntil(t des.Time) { s.engine.Run(t) }
+
+// Now returns the simulated clock.
+func (s *System) Now() des.Time { return s.engine.Now() }
+
+// Job returns the job with the given ID, or nil.
+func (s *System) Job(id cluster.JobID) *job.Job { return s.byID[id] }
+
+// Pending returns the queued jobs in scheduling order.
+func (s *System) Pending() []*job.Job { return s.engine.Pending() }
+
+// Held returns arrived jobs still waiting on dependencies.
+func (s *System) Held() []*job.Job { return s.engine.Held() }
+
+// Running returns the running set.
+func (s *System) Running() []*sched.RunningJob { return s.engine.Running() }
+
+// Finished returns completed jobs in completion order.
+func (s *System) Finished() []*job.Job { return s.engine.Finished() }
+
+// Cluster exposes the machine state (read-only use expected).
+func (s *System) Cluster() *cluster.Cluster { return s.engine.Cluster() }
+
+// Metrics computes the run's evaluation metrics.
+func (s *System) Metrics() metrics.Result { return s.engine.Result() }
+
+// Policy returns the active policy name.
+func (s *System) Policy() string { return s.engine.Policy().Name() }
+
+// Trace wires a per-event trace sink (submission, start, completion lines).
+func (s *System) Trace(fn func(line string)) { s.engine.TraceFn = fn }
+
+// History returns placement records of completed jobs (for timeline
+// rendering and accounting export).
+func (s *System) History() []sim.PlacementRecord { return s.engine.History() }
+
+// Engine exposes the underlying simulation engine for advanced callers
+// (e.g. the SLURM-like controller, which installs a priority order).
+func (s *System) Engine() *sim.Engine { return s.engine }

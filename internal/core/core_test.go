@@ -1,0 +1,260 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/cluster"
+	"repro/internal/des"
+	"repro/internal/interference"
+	"repro/internal/job"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func TestNewSystemDefaults(t *testing.T) {
+	sys, err := NewSystem(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Policy() != "sharebackfill" {
+		t.Fatalf("default policy = %q", sys.Policy())
+	}
+	if sys.Cluster().Size() != 32 {
+		t.Fatalf("default machine = %d nodes", sys.Cluster().Size())
+	}
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(Config{Policy: "nope"}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if _, err := NewSystem(Config{Machine: cluster.Config{Nodes: -1, CoresPerNode: 1, ThreadsPerCore: 1, MemoryPerNodeMB: 1}}); err == nil {
+		t.Fatal("invalid machine accepted")
+	}
+}
+
+func TestSubmitAndRun(t *testing.T) {
+	sys, err := NewSystem(Config{Machine: cluster.Trinity(4), Policy: "easy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := sys.Submit(JobSpec{App: "minife", Nodes: 2, Walltime: des.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == cluster.NoJob {
+		t.Fatal("no ID assigned")
+	}
+	j := sys.Job(id)
+	if j == nil {
+		t.Fatal("Job(id) = nil")
+	}
+	// Default runtime is 60% of walltime.
+	if j.TrueRuntime != des.Hour*6/10 {
+		t.Fatalf("default runtime = %v", j.TrueRuntime)
+	}
+	if !strings.HasPrefix(j.Name, "minife-") {
+		t.Fatalf("derived name = %q", j.Name)
+	}
+	sys.Run()
+	if j.State() != job.Finished {
+		t.Fatalf("state = %v", j.State())
+	}
+	m := sys.Metrics()
+	if m.Finished != 1 {
+		t.Fatalf("metrics report %d finished", m.Finished)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	sys, _ := NewSystem(Config{Machine: cluster.Trinity(4)})
+	cases := []JobSpec{
+		{App: "no-such-app", Nodes: 1, Walltime: 100},
+		{App: "minife", Nodes: 1}, // no walltime
+		{App: "minife", Nodes: 0, Walltime: 100},
+	}
+	for i, spec := range cases {
+		if _, err := sys.Submit(spec); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestSubmitJobsFromGenerator(t *testing.T) {
+	sys, err := NewSystem(Config{Machine: cluster.Trinity(8), Policy: "sharefirstfit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := workload.Generate(workload.Spec{
+		Mix: workload.TrinityMix(), Jobs: 40, Arrival: workload.Poisson,
+		Load: 0.9, Cluster: cluster.Trinity(8), RuntimeScale: 0.01, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SubmitJobs(jobs); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run()
+	m := sys.Metrics()
+	if m.Finished != 40 {
+		t.Fatalf("finished %d of 40", m.Finished)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateIDRejected(t *testing.T) {
+	sys, _ := NewSystem(Config{Machine: cluster.Trinity(4)})
+	j := &job.Job{ID: 5, App: mustApp(t, "amg"), Nodes: 1,
+		ReqWalltime: 100, TrueRuntime: 50, Submit: 0, Name: "a"}
+	if err := sys.SubmitJob(j); err != nil {
+		t.Fatal(err)
+	}
+	j2 := &job.Job{ID: 5, App: mustApp(t, "amg"), Nodes: 1,
+		ReqWalltime: 100, TrueRuntime: 50, Submit: 0, Name: "b"}
+	if err := sys.SubmitJob(j2); err == nil {
+		t.Fatal("duplicate ID accepted")
+	}
+}
+
+func TestIDsContinueAfterSubmitJob(t *testing.T) {
+	sys, _ := NewSystem(Config{Machine: cluster.Trinity(4)})
+	j := &job.Job{ID: 100, App: mustApp(t, "amg"), Nodes: 1,
+		ReqWalltime: 100, TrueRuntime: 50, Submit: 0, Name: "a"}
+	if err := sys.SubmitJob(j); err != nil {
+		t.Fatal(err)
+	}
+	id, err := sys.Submit(JobSpec{App: "minife", Nodes: 1, Walltime: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id <= 100 {
+		t.Fatalf("spec submission reused ID space: %d", id)
+	}
+}
+
+func TestRunUntilAndSnapshots(t *testing.T) {
+	sys, _ := NewSystem(Config{Machine: cluster.Trinity(2), Policy: "fcfs"})
+	if _, err := sys.Submit(JobSpec{App: "gtc", Nodes: 2, Walltime: 1000, Runtime: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Submit(JobSpec{App: "gtc", Nodes: 2, Walltime: 1000, Runtime: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	sys.RunUntil(500)
+	if sys.Now() != 500 {
+		t.Fatalf("Now = %v", sys.Now())
+	}
+	if len(sys.Running()) != 1 || len(sys.Pending()) != 1 {
+		t.Fatalf("running/pending = %d/%d, want 1/1", len(sys.Running()), len(sys.Pending()))
+	}
+	sys.Run()
+	if len(sys.Finished()) != 2 {
+		t.Fatalf("finished = %d", len(sys.Finished()))
+	}
+}
+
+func TestTraceHook(t *testing.T) {
+	sys, _ := NewSystem(Config{Machine: cluster.Trinity(2)})
+	var n int
+	sys.Trace(func(string) { n++ })
+	if _, err := sys.Submit(JobSpec{App: "umt", Nodes: 1, Walltime: 100}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run()
+	if n < 3 {
+		t.Fatalf("trace lines = %d", n)
+	}
+}
+
+func TestCatalogueHelpers(t *testing.T) {
+	if len(Apps()) < 6 {
+		t.Fatalf("Apps() = %v", Apps())
+	}
+	if len(Policies()) != 7 {
+		t.Fatalf("Policies() = %v", Policies())
+	}
+}
+
+func mustApp(t *testing.T, name string) app.Model {
+	t.Helper()
+	m, err := app.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestConfigExtras(t *testing.T) {
+	// Interference override, topology + locality, measured pairs, and
+	// strict limits must all wire through NewSystem.
+	params := interference.DefaultParams()
+	params.SMTBoost = 1.1
+	topo := topology.Default(4)
+	sys, err := NewSystem(Config{
+		Machine:       cluster.Trinity(4),
+		Policy:        "sharebackfill",
+		Interference:  &params,
+		Topology:      &topo,
+		LocalityAware: true,
+		StrictLimits:  true,
+		MeasuredPairs: []interference.MeasuredPair{
+			{A: "minife", B: "minimd", RateA: 0.5, RateB: 0.5},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Submit(JobSpec{App: "minife", Nodes: 2, Walltime: 1000, Runtime: 900}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run()
+	if len(sys.History()) != 1 {
+		t.Fatalf("history = %d", len(sys.History()))
+	}
+	if sys.Engine() == nil {
+		t.Fatal("Engine() nil")
+	}
+	// Bad measured pairs surface as a construction error.
+	if _, err := NewSystem(Config{
+		MeasuredPairs: []interference.MeasuredPair{{A: "", B: "x", RateA: 1, RateB: 1}},
+	}); err == nil {
+		t.Fatal("bad measured pair accepted")
+	}
+}
+
+func TestHeldVisibleThroughFacade(t *testing.T) {
+	sys, err := NewSystem(Config{Machine: cluster.Trinity(4), Policy: "easy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent, err := sys.Submit(JobSpec{App: "amg", Nodes: 1, Walltime: 1000, Runtime: 900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Submit(JobSpec{App: "amg", Nodes: 1, Walltime: 1000, Runtime: 900,
+		After: []cluster.JobID{parent}}); err != nil {
+		t.Fatal(err)
+	}
+	sys.RunUntil(10)
+	if len(sys.Held()) != 1 {
+		t.Fatalf("Held = %d, want 1", len(sys.Held()))
+	}
+	sys.Run()
+	if len(sys.Held()) != 0 || len(sys.Finished()) != 2 {
+		t.Fatalf("held/finished = %d/%d", len(sys.Held()), len(sys.Finished()))
+	}
+}
+
+func TestSubmitJobsPropagatesSubmitError(t *testing.T) {
+	sys, _ := NewSystem(Config{Machine: cluster.Trinity(4)})
+	a := mustApp(t, "amg")
+	bad := &job.Job{ID: 9, App: a, Nodes: 0, ReqWalltime: 10, TrueRuntime: 5, Name: "x"}
+	if err := sys.SubmitJobs([]*job.Job{bad}); err == nil {
+		t.Fatal("invalid job accepted")
+	}
+}

@@ -1,0 +1,258 @@
+// Package des implements a deterministic discrete-event simulation kernel.
+//
+// The kernel is the time substrate for the whole repository: the cluster
+// simulator, the scheduler, and the SLURM-like controller all advance a
+// simulated clock by executing events in timestamp order. Determinism is a
+// hard requirement (see DESIGN.md §6): two runs with the same seed must
+// produce bit-identical event orders, which the kernel guarantees by breaking
+// timestamp ties with a monotonically increasing sequence number.
+package des
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Time is a point in simulated time, measured in seconds since the start of
+// the simulation. Sub-second resolution is allowed; scheduling policies
+// typically operate on whole seconds while the progress integrator uses the
+// full float range.
+type Time float64
+
+// Duration is a span of simulated time in seconds.
+type Duration = Time
+
+// Common time constants, in simulated seconds.
+const (
+	Second Duration = 1
+	Minute Duration = 60
+	Hour   Duration = 3600
+	Day    Duration = 86400
+)
+
+// Forever is a sentinel meaning "run until the event queue drains".
+const Forever Time = Time(math.MaxFloat64)
+
+// Seconds returns the time as a plain float64 second count.
+func (t Time) Seconds() float64 { return float64(t) }
+
+// Before reports whether t is strictly earlier than u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + d }
+
+// String renders the time as D+HH:MM:SS.fff for readable traces.
+func (t Time) String() string {
+	if t == Forever {
+		return "forever"
+	}
+	neg := ""
+	s := float64(t)
+	if s < 0 {
+		neg = "-"
+		s = -s
+	}
+	days := int(s) / 86400
+	rem := s - float64(days*86400)
+	h := int(rem) / 3600
+	m := (int(rem) % 3600) / 60
+	sec := rem - float64(h*3600+m*60)
+	if days > 0 {
+		return fmt.Sprintf("%s%dd%02d:%02d:%06.3f", neg, days, h, m, sec)
+	}
+	return fmt.Sprintf("%s%02d:%02d:%06.3f", neg, h, m, sec)
+}
+
+// Handler is the callback invoked when an event fires. The simulator passes
+// itself so handlers can schedule follow-up events.
+type Handler func(sim *Simulator)
+
+// Event is a scheduled callback. Events are created via Simulator.Schedule
+// and friends; the zero value is not usable.
+type Event struct {
+	at       Time
+	seq      uint64 // tie-breaker: FIFO among equal timestamps
+	index    int    // heap index, -1 once removed
+	canceled bool
+	fn       Handler
+}
+
+// At returns the simulated time at which the event fires (or was scheduled to
+// fire, if canceled).
+func (e *Event) At() Time { return e.at }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// ErrPastEvent is returned when an event is scheduled before the current
+// simulated time.
+var ErrPastEvent = errors.New("des: event scheduled in the past")
+
+// Simulator owns the simulated clock and the pending-event queue.
+// It is not safe for concurrent use; the simulation model is single-threaded
+// by design (determinism), with parallelism applied across independent
+// simulation runs by the experiment harness instead.
+type Simulator struct {
+	now     Time
+	queue   eventHeap
+	nextSeq uint64
+	stopped bool
+
+	executed  uint64
+	scheduled uint64
+	cancelled uint64
+}
+
+// NewSimulator returns a simulator with the clock at time 0 and an empty
+// event queue.
+func NewSimulator() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Pending returns the number of events waiting in the queue (including
+// canceled events that have not yet been popped).
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Executed returns the number of events that have fired so far.
+func (s *Simulator) Executed() uint64 { return s.executed }
+
+// Scheduled returns the total number of events ever scheduled.
+func (s *Simulator) Scheduled() uint64 { return s.scheduled }
+
+// Cancelled returns the number of events that were canceled before firing.
+func (s *Simulator) Cancelled() uint64 { return s.cancelled }
+
+// Schedule registers fn to run at absolute simulated time at.
+// Scheduling at the current time is allowed (the event runs after all events
+// already queued for that instant). Scheduling in the past panics: it is
+// always a model bug, never a recoverable condition.
+func (s *Simulator) Schedule(at Time, fn Handler) *Event {
+	if at < s.now {
+		panic(fmt.Sprintf("%v: at=%v now=%v", ErrPastEvent, at, s.now))
+	}
+	if fn == nil {
+		panic("des: Schedule with nil handler")
+	}
+	e := &Event{at: at, seq: s.nextSeq, fn: fn}
+	s.nextSeq++
+	s.scheduled++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// ScheduleIn registers fn to run after delay d from the current time.
+func (s *Simulator) ScheduleIn(d Duration, fn Handler) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("%v: delay=%v", ErrPastEvent, d))
+	}
+	return s.Schedule(s.now+d, fn)
+}
+
+// Cancel marks an event so it will not fire. Canceling an already-fired or
+// already-canceled event is a no-op. Cancellation is O(1); the event is
+// dropped lazily when popped.
+func (s *Simulator) Cancel(e *Event) {
+	if e == nil || e.canceled || e.index == -1 && e.fn == nil {
+		return
+	}
+	if !e.canceled {
+		e.canceled = true
+		s.cancelled++
+	}
+}
+
+// Stop halts the run loop after the currently executing event returns.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Step executes the single earliest pending event. It returns false when the
+// queue is empty. Canceled events are skipped (and consume no simulated
+// time).
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.canceled {
+			continue
+		}
+		if e.at < s.now {
+			panic("des: event heap produced a past event") // unreachable unless heap corrupted
+		}
+		s.now = e.at
+		fn := e.fn
+		e.fn = nil
+		s.executed++
+		fn(s)
+		return true
+	}
+	return false
+}
+
+// Run executes events in order until the queue drains, Stop is called, or
+// the next event lies strictly after until. The clock is left at the time of
+// the last executed event (or advanced to until if until is finite and the
+// queue drained earlier events only).
+func (s *Simulator) Run(until Time) {
+	s.stopped = false
+	for !s.stopped {
+		// Peek: do not pop events beyond the horizon.
+		next := s.peek()
+		if next == nil {
+			break
+		}
+		if next.at > until {
+			break
+		}
+		s.Step()
+	}
+	if until != Forever && s.now < until && !s.stopped {
+		s.now = until
+	}
+}
+
+// RunAll executes events until the queue is empty or Stop is called.
+func (s *Simulator) RunAll() { s.Run(Forever) }
+
+func (s *Simulator) peek() *Event {
+	for len(s.queue) > 0 {
+		e := s.queue[0]
+		if !e.canceled {
+			return e
+		}
+		heap.Pop(&s.queue)
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package des
+
+import (
+	"fmt"
+	"math"
+)
+
+// RNG is a deterministic pseudo-random number generator based on the
+// splitmix64 / xoshiro256** construction. We implement it ourselves rather
+// than wrapping math/rand so that (a) the stream sequence is pinned and
+// cannot drift across Go releases and (b) named sub-streams can be derived
+// stably from a root seed, which keeps experiments reproducible even when
+// the order in which components draw random numbers changes.
+type RNG struct {
+	seed uint64 // original seed material, kept for stable Stream derivation
+	s    [4]uint64
+}
+
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewRNG returns a generator seeded from seed via splitmix64, as recommended
+// by the xoshiro authors.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{seed: seed}
+	x := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&x)
+	}
+	// xoshiro must not be seeded with the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// Stream derives an independent generator from r's original seed material
+// and a name. Streams with distinct names are statistically independent;
+// the same (seed, name) pair always yields the same stream.
+func (r *RNG) Stream(name string) *RNG {
+	h := fnv1a64(name)
+	// Derive from the original seed (not the advanced state) so Stream is
+	// insensitive to how many draws happened on the parent.
+	x := r.seed
+	mixed := splitmix64(&x) ^ h
+	return NewRNG(mixed)
+}
+
+func fnv1a64(s string) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits (xoshiro256**).
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("des: Intn(%d)", n))
+	}
+	// Lemire's nearly-divisionless bounded sampling would be overkill here;
+	// modulo bias is negligible for the n (< 2^32) used in workloads, but we
+	// reject anyway to keep the generator exact.
+	bound := uint64(n)
+	threshold := -bound % bound
+	for {
+		v := r.Uint64()
+		if v >= threshold {
+			return int(v % bound)
+		}
+	}
+}
+
+// Uniform returns a uniform value in [lo, hi).
+func (r *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+func (r *RNG) Exp(mean float64) float64 {
+	if mean <= 0 {
+		panic(fmt.Sprintf("des: Exp(mean=%g)", mean))
+	}
+	u := r.Float64()
+	// Float64 is in [0,1); guard the log argument.
+	return -mean * math.Log(1-u)
+}
+
+// Norm returns a normally distributed value (Box–Muller; one value per call,
+// the pair's second half is deliberately discarded to keep draws countable).
+func (r *RNG) Norm(mean, stddev float64) float64 {
+	u1 := 1 - r.Float64() // (0, 1]
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// LogNormal returns a log-normally distributed value where the underlying
+// normal has the given mu and sigma.
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Norm(mu, sigma))
+}
+
+// Weibull returns a Weibull-distributed value with the given shape k and
+// scale lambda. Weibull interarrivals model the bursty submission behaviour
+// observed in production HPC traces.
+func (r *RNG) Weibull(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic(fmt.Sprintf("des: Weibull(shape=%g, scale=%g)", shape, scale))
+	}
+	u := 1 - r.Float64()
+	return scale * math.Pow(-math.Log(u), 1/shape)
+}
+
+// Choice returns a uniformly chosen index weighted by weights. Weights must
+// be non-negative and sum to a positive value.
+func (r *RNG) Choice(weights []float64) int {
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic(fmt.Sprintf("des: Choice weight[%d]=%g", i, w))
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("des: Choice with zero total weight")
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1 // float round-off: last positive-weight bucket
+}
+
+// Shuffle permutes the first n elements using swap, Fisher–Yates.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}

@@ -1,0 +1,282 @@
+package des
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedSensitivity(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestRNGZeroSeedUsable(t *testing.T) {
+	r := NewRNG(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 99 {
+		t.Fatalf("zero-seeded RNG produced only %d distinct values in 100 draws", len(seen))
+	}
+}
+
+func TestStreamIndependence(t *testing.T) {
+	root := NewRNG(7)
+	s1 := root.Stream("arrivals")
+	s2 := root.Stream("runtimes")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if s1.Uint64() == s2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with distinct names produced %d/100 identical draws", same)
+	}
+}
+
+func TestStreamStability(t *testing.T) {
+	// Stream derivation must be insensitive to how many draws happened on
+	// the parent.
+	r1 := NewRNG(7)
+	s1 := r1.Stream("x")
+	r2 := NewRNG(7)
+	for i := 0; i < 50; i++ {
+		r2.Uint64()
+	}
+	s2 := r2.Stream("x")
+	for i := 0; i < 100; i++ {
+		if s1.Uint64() != s2.Uint64() {
+			t.Fatalf("stream derivation depends on parent draw count (draw %d)", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %g outside [0,1)", v)
+		}
+	}
+}
+
+func TestIntnRangeAndCoverage(t *testing.T) {
+	r := NewRNG(4)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		counts[v]++
+	}
+	for i, c := range counts {
+		if c < 8500 || c > 11500 {
+			t.Fatalf("Intn(10) bucket %d has count %d, expected ~10000", i, c)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	r := NewRNG(1)
+	for _, n := range []int{0, -5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Intn(%d) did not panic", n)
+				}
+			}()
+			r.Intn(n)
+		}()
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(5)
+	const mean = 120.0
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.Exp(mean)
+		if v < 0 {
+			t.Fatalf("Exp produced negative value %g", v)
+		}
+		sum += v
+	}
+	got := sum / n
+	if math.Abs(got-mean) > mean*0.02 {
+		t.Fatalf("Exp empirical mean = %g, want ~%g", got, mean)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := NewRNG(6)
+	const mu, sigma = 50.0, 10.0
+	const n = 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Norm(mu, sigma)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-mu) > 0.2 {
+		t.Fatalf("Norm mean = %g, want ~%g", mean, mu)
+	}
+	if math.Abs(math.Sqrt(variance)-sigma) > 0.2 {
+		t.Fatalf("Norm stddev = %g, want ~%g", math.Sqrt(variance), sigma)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		if v := r.LogNormal(1, 2); v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("LogNormal produced %g", v)
+		}
+	}
+}
+
+func TestWeibullShape1IsExponential(t *testing.T) {
+	r := NewRNG(8)
+	const scale = 30.0
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Weibull(1, scale)
+	}
+	got := sum / n
+	// Weibull(1, λ) is Exp(λ).
+	if math.Abs(got-scale) > scale*0.02 {
+		t.Fatalf("Weibull(1, %g) empirical mean = %g, want ~%g", scale, got, scale)
+	}
+}
+
+func TestDistributionPanics(t *testing.T) {
+	r := NewRNG(1)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Exp(0)", func() { r.Exp(0) })
+	mustPanic("Weibull(0,1)", func() { r.Weibull(0, 1) })
+	mustPanic("Weibull(1,0)", func() { r.Weibull(1, 0) })
+	mustPanic("Choice(nil)", func() { r.Choice(nil) })
+	mustPanic("Choice(zeros)", func() { r.Choice([]float64{0, 0}) })
+	mustPanic("Choice(negative)", func() { r.Choice([]float64{1, -1}) })
+}
+
+func TestChoiceWeights(t *testing.T) {
+	r := NewRNG(9)
+	counts := make([]int, 3)
+	weights := []float64{1, 2, 7}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Choice(weights)]++
+	}
+	for i, w := range weights {
+		want := w / 10 * n
+		if math.Abs(float64(counts[i])-want) > want*0.1 {
+			t.Fatalf("Choice bucket %d count = %d, want ~%g", i, counts[i], want)
+		}
+	}
+}
+
+func TestChoiceZeroWeightNeverChosen(t *testing.T) {
+	r := NewRNG(10)
+	for i := 0; i < 10000; i++ {
+		if r.Choice([]float64{0, 1, 0}) != 1 {
+			t.Fatal("Choice selected a zero-weight bucket")
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(11)
+	for _, n := range []int{0, 1, 2, 17, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := NewRNG(12)
+	for i := 0; i < 10000; i++ {
+		v := r.Uniform(5, 9)
+		if v < 5 || v >= 9 {
+			t.Fatalf("Uniform(5,9) = %g", v)
+		}
+	}
+}
+
+// Property: Perm always yields a permutation for any small n and seed.
+func TestProperty_Perm(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw % 64)
+		p := NewRNG(seed).Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(p) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Intn(n) is always within bounds.
+func TestProperty_IntnBounds(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw)%1000 + 1
+		r := NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

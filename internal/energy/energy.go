@@ -1,0 +1,90 @@
+// Package energy derives the energy cost of a simulation run from its
+// occupancy integrals — the "benefits" side of node sharing that the
+// efficiency metrics alone do not show: packing two jobs onto one node's SMT
+// threads powers one node instead of two, at a small extra draw for the
+// second hardware-thread layer.
+//
+// The power model is the standard three-level node model of HPC energy
+// studies: an idle floor (fans, DIMM refresh, uncore), an active increment
+// when a job runs, and a smaller increment when a second job oversubscribes
+// the cores. Default values approximate a Trinity-class dual-socket node.
+package energy
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// Params is the per-node power model in watts.
+type Params struct {
+	// IdleW is drawn by every provisioned node, always.
+	IdleW float64
+	// ActiveW is the additional draw of a node running one job.
+	ActiveW float64
+	// SharedW is the additional draw when a second job runs on the SMT
+	// sibling threads (the cores are already powered; oversubscription
+	// mostly raises switching activity).
+	SharedW float64
+}
+
+// DefaultParams approximates a Trinity-class node: ~90 W idle, ~260 W
+// additional under load, ~40 W more with both hardware threads busy.
+func DefaultParams() Params {
+	return Params{IdleW: 90, ActiveW: 260, SharedW: 40}
+}
+
+// Validate checks the model.
+func (p Params) Validate() error {
+	if p.IdleW < 0 || p.ActiveW < 0 || p.SharedW < 0 {
+		return fmt.Errorf("energy: negative power (%+v)", p)
+	}
+	if p.IdleW+p.ActiveW <= 0 {
+		return fmt.Errorf("energy: zero-power nodes (%+v)", p)
+	}
+	return nil
+}
+
+// Report is the energy accounting of one run.
+type Report struct {
+	// TotalJoules is machine energy over the run's makespan.
+	TotalJoules float64
+	// IdleJoules, ActiveJoules, SharedJoules decompose the total.
+	IdleJoules, ActiveJoules, SharedJoules float64
+	// JoulesPerWork is energy per delivered node-second of useful work —
+	// the figure of merit for sharing (lower is better).
+	JoulesPerWork float64
+	// AvgPowerW is the machine's average draw over the makespan.
+	AvgPowerW float64
+}
+
+// KWh converts the total to kilowatt-hours.
+func (r Report) KWh() float64 { return r.TotalJoules / 3.6e6 }
+
+// Compute derives the energy report from a run's metrics:
+//
+//	idle:   Nodes × makespan × IdleW        (provisioned nodes always draw)
+//	active: busy node-seconds × ActiveW
+//	shared: shared node-seconds × SharedW
+//
+// The result is exact given the engine's occupancy integrals; no re-run is
+// needed.
+func Compute(p Params, r metrics.Result) (Report, error) {
+	if err := p.Validate(); err != nil {
+		return Report{}, err
+	}
+	makespan := float64(r.Makespan)
+	rep := Report{
+		IdleJoules:   float64(r.Nodes) * makespan * p.IdleW,
+		ActiveJoules: r.BusyNodeSeconds * p.ActiveW,
+		SharedJoules: r.SharedNodeSeconds * p.SharedW,
+	}
+	rep.TotalJoules = rep.IdleJoules + rep.ActiveJoules + rep.SharedJoules
+	if r.TotalDemand > 0 {
+		rep.JoulesPerWork = rep.TotalJoules / r.TotalDemand
+	}
+	if makespan > 0 {
+		rep.AvgPowerW = rep.TotalJoules / makespan
+	}
+	return rep, nil
+}

@@ -1,0 +1,109 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	bad := []Params{
+		{IdleW: -1, ActiveW: 1},
+		{IdleW: 1, ActiveW: -1},
+		{IdleW: 1, ActiveW: 1, SharedW: -1},
+		{},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+}
+
+func TestComputeDecomposition(t *testing.T) {
+	p := Params{IdleW: 100, ActiveW: 200, SharedW: 50}
+	r := metrics.Result{
+		Nodes:             4,
+		Makespan:          1000,
+		BusyNodeSeconds:   2000,
+		SharedNodeSeconds: 500,
+		TotalDemand:       2500,
+	}
+	rep, err := Compute(p, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.IdleJoules != 4*1000*100 {
+		t.Fatalf("idle = %g", rep.IdleJoules)
+	}
+	if rep.ActiveJoules != 2000*200 {
+		t.Fatalf("active = %g", rep.ActiveJoules)
+	}
+	if rep.SharedJoules != 500*50 {
+		t.Fatalf("shared = %g", rep.SharedJoules)
+	}
+	want := 400000.0 + 400000 + 25000
+	if rep.TotalJoules != want {
+		t.Fatalf("total = %g, want %g", rep.TotalJoules, want)
+	}
+	if math.Abs(rep.JoulesPerWork-want/2500) > 1e-9 {
+		t.Fatalf("J/work = %g", rep.JoulesPerWork)
+	}
+	if math.Abs(rep.AvgPowerW-want/1000) > 1e-9 {
+		t.Fatalf("avg power = %g", rep.AvgPowerW)
+	}
+	if math.Abs(rep.KWh()-want/3.6e6) > 1e-12 {
+		t.Fatalf("kWh = %g", rep.KWh())
+	}
+}
+
+func TestComputeEmptyRun(t *testing.T) {
+	rep, err := Compute(DefaultParams(), metrics.Result{Nodes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalJoules != 0 || rep.JoulesPerWork != 0 || rep.AvgPowerW != 0 {
+		t.Fatalf("empty run report = %+v", rep)
+	}
+}
+
+func TestComputeRejectsBadParams(t *testing.T) {
+	if _, err := Compute(Params{IdleW: -5, ActiveW: 1}, metrics.Result{}); err == nil {
+		t.Fatal("bad params accepted")
+	}
+}
+
+// The economics that justify sharing: packing the same work into fewer
+// node-hours lowers energy per work even though shared nodes draw more.
+func TestSharingLowersEnergyPerWork(t *testing.T) {
+	p := DefaultParams()
+	// Exclusive: 2 jobs × 1000s on 2 nodes of a 2-node machine.
+	exclusive := metrics.Result{
+		Nodes: 2, Makespan: 1000, BusyNodeSeconds: 2000, TotalDemand: 2000,
+	}
+	// Shared: both jobs on one node at rate 0.8 → 1250s makespan, one busy
+	// node, same delivered work.
+	shared := metrics.Result{
+		Nodes: 2, Makespan: 1250, BusyNodeSeconds: 1250,
+		SharedNodeSeconds: 1250, TotalDemand: 2000,
+	}
+	re, err := Compute(p, exclusive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Compute(p, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.JoulesPerWork >= re.JoulesPerWork {
+		t.Fatalf("sharing J/work %g not below exclusive %g",
+			rs.JoulesPerWork, re.JoulesPerWork)
+	}
+}

@@ -1,0 +1,202 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/sched"
+)
+
+// fastOpts keeps experiment tests quick: one seed, small machine, short jobs.
+func fastOpts() Options {
+	return Options{Seeds: []uint64{7}, Nodes: 8, Jobs: 60, RuntimeScale: 0.01}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := IDs()
+	want := []string{"T1", "T2", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "T3", "A1", "A2", "A3", "A4", "E1", "F8", "F9", "F10", "F11", "T4"}
+	if len(ids) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(ids), len(want))
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("IDs[%d] = %q, want %q", i, ids[i], want[i])
+		}
+	}
+	for _, e := range All() {
+		if e.Title == "" || e.Paper == "" || e.Name == "" || e.Run == nil {
+			t.Errorf("experiment %s is underspecified: %+v", e.ID, e)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("F1")
+	if err != nil || e.ID != "F1" {
+		t.Fatalf("ByID(F1) = %v, %v", e.ID, err)
+	}
+	if _, err := ByID("F99"); err == nil {
+		t.Fatal("unknown ID accepted")
+	}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl, err := e.Run(fastOpts())
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			if tbl.Title == "" || len(tbl.Columns) == 0 {
+				t.Fatalf("%s table underspecified", e.ID)
+			}
+			for i, row := range tbl.Rows {
+				if len(row) != len(tbl.Columns) {
+					t.Fatalf("%s row %d has %d cells, header has %d",
+						e.ID, i, len(row), len(tbl.Columns))
+				}
+			}
+		})
+	}
+}
+
+func TestT1RowsMatchCatalogue(t *testing.T) {
+	tbl, err := runT1(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(app.Catalogue()) {
+		t.Fatalf("T1 rows = %d, want %d", len(tbl.Rows), len(app.Catalogue()))
+	}
+}
+
+func TestT2IsSquare(t *testing.T) {
+	tbl, err := runT2(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(app.Catalogue())
+	if len(tbl.Rows) != n || len(tbl.Columns) != n+1 {
+		t.Fatalf("T2 shape = %dx%d, want %dx%d", len(tbl.Rows), len(tbl.Columns), n, n+1)
+	}
+	// All matrix cells must be rates in (0, 1].
+	for _, row := range tbl.Rows {
+		for _, cell := range row[1:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				t.Fatalf("non-numeric matrix cell %q", cell)
+			}
+			if v <= 0 || v > 1 {
+				t.Fatalf("rate %g outside (0,1]", v)
+			}
+		}
+	}
+}
+
+func TestF1SharingWins(t *testing.T) {
+	// Even at test scale the ordering must hold: sharing CE > exclusive CE.
+	o := Options{Seeds: []uint64{7, 8}, Nodes: 16, Jobs: 120, RuntimeScale: 0.02}
+	tbl, err := runF1(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce := map[string]float64{}
+	for _, row := range tbl.Rows {
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatalf("CE cell %q", row[1])
+		}
+		ce[row[0]] = v
+	}
+	if ce["easy"] != 1.0 {
+		t.Fatalf("exclusive CE = %g, want exactly 1", ce["easy"])
+	}
+	if ce["sharebackfill"] <= ce["easy"] {
+		t.Fatalf("sharebackfill CE %g not above easy %g", ce["sharebackfill"], ce["easy"])
+	}
+	if ce["sharefirstfit"] <= ce["easy"] {
+		t.Fatalf("sharefirstfit CE %g not above easy %g", ce["sharefirstfit"], ce["easy"])
+	}
+}
+
+func TestF2SharingShortensMakespan(t *testing.T) {
+	o := Options{Seeds: []uint64{7, 8}, Nodes: 16, Jobs: 120, RuntimeScale: 0.02}
+	tbl, err := runF2(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	makespan := map[string]float64{}
+	for _, row := range tbl.Rows {
+		v, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatalf("makespan cell %q", row[3])
+		}
+		makespan[row[0]] = v
+	}
+	if makespan["sharebackfill"] >= makespan["easy"] {
+		t.Fatalf("sharing makespan %g not below exclusive %g",
+			makespan["sharebackfill"], makespan["easy"])
+	}
+}
+
+func TestF7SMTOffMeansNoSharing(t *testing.T) {
+	tbl, err := runF7(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First row is threads/core = 1: shared fraction must be 0 and gain 0.
+	row := tbl.Rows[0]
+	if row[0] != "1" {
+		t.Fatalf("first F7 row is %v, want SMT-off variant", row)
+	}
+	if row[5] != "0.000" {
+		t.Fatalf("SMT-off shared fraction = %s, want 0.000", row[5])
+	}
+	if !strings.HasPrefix(row[4], "+0.0%") && !strings.HasPrefix(row[4], "-0.0%") {
+		t.Fatalf("SMT-off CE gain = %s, want ±0.0%%", row[4])
+	}
+}
+
+func TestScenarioRunnerRejectsBadPolicy(t *testing.T) {
+	o := fastOpts()
+	sc := canonicalScenario(o, "nope", sched.DefaultShareConfig())
+	if _, err := runScenario(sc); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestOverheadContext(t *testing.T) {
+	ctx, err := BuildOverheadContext(fastOpts(), 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ctx.Queue) != 25 {
+		t.Fatalf("queue depth = %d", len(ctx.Queue))
+	}
+	if len(ctx.Running) != ctx.Cluster.Size()/2 {
+		t.Fatalf("running = %d, want half the machine", len(ctx.Running))
+	}
+	// The context must be reusable: scheduling twice must not mutate it.
+	pol, err := sched.New("sharebackfill", sched.DefaultShareConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := pol.Schedule(ctx)
+	d2 := pol.Schedule(ctx)
+	if len(d1) != len(d2) {
+		t.Fatalf("Schedule not repeatable: %d vs %d decisions", len(d1), len(d2))
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if len(o.Seeds) == 0 || o.Nodes == 0 || o.Jobs == 0 || o.RuntimeScale == 0 {
+		t.Fatalf("defaults incomplete: %+v", o)
+	}
+}

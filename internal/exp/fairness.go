@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/slurm"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// runF8 regenerates the fairness comparison: a Zipf-skewed multi-user
+// workload (user01 floods the queue) under node sharing, scheduled FCFS vs
+// with the fairshare priority factor. Fairshare protects the light users'
+// waits from the heavy user's backlog without hurting efficiency.
+func runF8(o Options) (*report.Table, error) {
+	o = o.withDefaults()
+	const users = 6
+
+	t := report.New("F8 fairness — multi-user waits under FCFS vs fairshare priority",
+		"ordering", "CE", "wait mean(s)", "heavy-user wait(s)", "light-users wait(s)", "heavy/light")
+	for _, variant := range []struct {
+		name      string
+		fairshare bool
+	}{
+		{"fcfs order", false},
+		{"fairshare priority", true},
+	} {
+		var ces, means, heavies, lights []float64
+		for _, seed := range o.Seeds {
+			jobs, err := workload.Generate(workload.Spec{
+				Mix:          workload.TrinityMix(),
+				Jobs:         o.Jobs,
+				Arrival:      workload.Poisson,
+				Load:         1.4,
+				Cluster:      cluster.Trinity(o.Nodes),
+				RuntimeScale: o.RuntimeScale,
+				Users:        users,
+				Seed:         seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			pol, err := sched.New("sharebackfill", sched.DefaultShareConfig())
+			if err != nil {
+				return nil, err
+			}
+			e := sim.New(sim.Config{Cluster: cluster.Trinity(o.Nodes), Policy: pol})
+			if variant.fairshare {
+				prio := slurm.DefaultPriorityConfig()
+				prio.WeightFairshare = 5000 // dominate age so the effect is visible
+				e.SetQueueOrder(prio.LessWithUsage(e.Now, o.Nodes, slurm.UsageFromEngine(e)))
+			}
+			if err := e.SubmitAll(jobs); err != nil {
+				return nil, err
+			}
+			e.RunAll()
+			r := e.Result()
+			if err := r.Validate(); err != nil {
+				return nil, err
+			}
+			ces = append(ces, r.CompEfficiency)
+			means = append(means, r.Wait.Mean)
+
+			byUser := map[string][]float64{}
+			for _, j := range e.Finished() {
+				byUser[j.User] = append(byUser[j.User], float64(j.WaitTime()))
+			}
+			heavy := stats.Mean(byUser["user01"])
+			var lightWaits []float64
+			for u := 2; u <= users; u++ {
+				lightWaits = append(lightWaits, byUser[fmt.Sprintf("user%02d", u)]...)
+			}
+			heavies = append(heavies, heavy)
+			lights = append(lights, stats.Mean(lightWaits))
+		}
+		heavy, light := stats.Mean(heavies), stats.Mean(lights)
+		ratio := 0.0
+		if light > 0 {
+			ratio = heavy / light
+		}
+		t.Add(
+			variant.name,
+			report.F(stats.Mean(ces), 3),
+			report.F(stats.Mean(means), 0),
+			report.F(heavy, 0),
+			report.F(light, 0),
+			report.F(ratio, 2),
+		)
+	}
+	t.AddNote("user01 submits the most jobs (Zipf weights); fairshare pushes the flood behind")
+	t.AddNote("light users' jobs, cutting their waits sharply at a small efficiency cost")
+	t.AddNote("(priority reordering constrains pairing choices)")
+	return t, nil
+}

@@ -1,0 +1,65 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/app"
+	"repro/internal/cluster"
+	"repro/internal/des"
+	"repro/internal/interference"
+	"repro/internal/job"
+	"repro/internal/sched"
+)
+
+// BuildOverheadContext constructs the synthetic scheduling state used by the
+// F3 latency measurement: a Trinity-sized machine with half its nodes
+// hosting single-layer jobs (so co-allocation candidates exist) and a
+// pending queue of the requested depth. Policies only read the context, so
+// the same instance is timed repeatedly.
+func BuildOverheadContext(o Options, depth int) (*sched.Context, error) {
+	o = o.withDefaults()
+	cfg := cluster.Trinity(o.Nodes)
+	c := cluster.New(cfg)
+	cat := app.Catalogue()
+
+	var running []*sched.RunningJob
+	id := cluster.JobID(0)
+	for ni := 0; ni < c.Size()/2; ni++ {
+		id++
+		a := cat[ni%len(cat)]
+		j := &job.Job{
+			ID: id, Name: fmt.Sprintf("run-%d", id), App: a, Nodes: 1,
+			ReqWalltime: 7200, TrueRuntime: 3600, Submit: 0,
+		}
+		if err := c.Allocate(c.LayerPlacement(id, []int{ni}, cluster.PrimaryLayer, a.MemPerNodeMB)); err != nil {
+			return nil, err
+		}
+		j.Start(0)
+		running = append(running, &sched.RunningJob{
+			Job: j, NodeIDs: []int{ni}, Exclusive: false,
+			NominalEnd: des.Time(3600 + 60*ni), PredictedEnd: des.Time(3600 + 60*ni), Rate: 1,
+		})
+	}
+
+	queue := make([]*job.Job, 0, depth)
+	for i := 0; i < depth; i++ {
+		id++
+		a := cat[(i*3+1)%len(cat)]
+		queue = append(queue, &job.Job{
+			ID: id, Name: fmt.Sprintf("q-%d", id), App: a,
+			Nodes:       1 + i%8,
+			ReqWalltime: des.Duration(1800 + 300*(i%10)),
+			TrueRuntime: des.Duration(900 + 150*(i%10)),
+			Submit:      des.Time(i),
+		})
+	}
+
+	return &sched.Context{
+		Now:     des.Time(depth + 1),
+		Cluster: c,
+		Queue:   queue,
+		Running: running,
+		Inter:   interference.Default(),
+		Share:   sched.DefaultShareConfig(),
+	}, nil
+}

@@ -1,0 +1,146 @@
+// Package metrics defines the evaluation metrics of the node-sharing study
+// and computes them from raw simulation observations.
+//
+// The two headline metrics follow the paper's comparison ("an increased
+// computational efficiency of 19% and an increased scheduling efficiency of
+// 25.2% compared to standard node allocation"):
+//
+//   - Computational efficiency: useful work delivered per allocated
+//     node-second, CE = Σ finished service demand / busy node-seconds.
+//     Under standard (exclusive) allocation every allocated node runs its
+//     job at rate 1, so CE is exactly 1; sharing raises CE when co-located
+//     jobs' progress rates sum above 1 and lowers it when they interfere.
+//
+//   - Scheduling efficiency: how close the schedule comes to the packing
+//     lower bound, SE = ideal makespan / actual makespan, with
+//     ideal = total service demand / machine nodes. Sharing shortens the
+//     makespan of a closed workload, raising SE.
+//
+// Both are dimensionless, which makes the paper's relative improvements
+// directly comparable across machines.
+package metrics
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/job"
+	"repro/internal/stats"
+)
+
+// BoundedSlowdownTau is the standard 10-second threshold used for the
+// bounded-slowdown metric.
+const BoundedSlowdownTau des.Duration = 10
+
+// Result is the full metric set of one simulation run.
+type Result struct {
+	// Policy is the scheduling policy's registry name.
+	Policy string
+	// Submitted and Finished count jobs; Killed counts jobs terminated at
+	// their walltime limit (only possible under strict limit enforcement).
+	Submitted, Finished, Killed int
+	// WastedNodeSeconds is the occupancy consumed by killed jobs, whose
+	// work is discarded.
+	WastedNodeSeconds float64
+	// Makespan is the time from run start to the last job completion.
+	Makespan des.Duration
+	// TotalDemand is the aggregate service demand of finished jobs in
+	// node-seconds.
+	TotalDemand float64
+	// BusyNodeSeconds integrates the number of allocated (non-idle) nodes
+	// over time.
+	BusyNodeSeconds float64
+	// SharedNodeSeconds integrates the number of nodes hosting ≥2 jobs.
+	SharedNodeSeconds float64
+	// Nodes is the machine size the run used.
+	Nodes int
+
+	// CompEfficiency is useful work per allocated node-second (headline 1).
+	CompEfficiency float64
+	// SchedEfficiency is ideal makespan over actual makespan (headline 2).
+	SchedEfficiency float64
+	// Utilization is busy node-seconds over machine node-seconds.
+	Utilization float64
+	// SharedFraction is the fraction of busy node-seconds spent shared.
+	SharedFraction float64
+
+	// Wait summarizes queue waits of finished jobs (seconds).
+	Wait stats.Summary
+	// Slowdown summarizes bounded slowdowns of finished jobs.
+	Slowdown stats.Summary
+	// Stretch summarizes execution-time stretch (1 = never slowed).
+	Stretch stats.Summary
+
+	// DecisionNanos summarizes the real (wall-clock) time the scheduler
+	// spent per decision pass — the paper's "no overhead" claim.
+	DecisionNanos stats.Summary
+}
+
+// Compute fills the derived fields of a Result from its raw observations
+// plus the finished jobs' records. It returns the completed Result.
+func Compute(raw Result, finished []*job.Job, decisionTimes []time.Duration) Result {
+	r := raw
+	r.Finished = len(finished)
+
+	var waits, slowdowns, stretches []float64
+	r.TotalDemand = 0
+	for _, j := range finished {
+		r.TotalDemand += j.ServiceDemand()
+		waits = append(waits, float64(j.WaitTime()))
+		slowdowns = append(slowdowns, j.BoundedSlowdown(BoundedSlowdownTau))
+		stretches = append(stretches, j.Stretch())
+	}
+	r.Wait = stats.Summarize(waits)
+	r.Slowdown = stats.Summarize(slowdowns)
+	r.Stretch = stats.Summarize(stretches)
+
+	if r.BusyNodeSeconds > 0 {
+		r.CompEfficiency = r.TotalDemand / r.BusyNodeSeconds
+		r.SharedFraction = r.SharedNodeSeconds / r.BusyNodeSeconds
+	}
+	if r.Makespan > 0 && r.Nodes > 0 {
+		ideal := r.TotalDemand / float64(r.Nodes)
+		r.SchedEfficiency = ideal / float64(r.Makespan)
+		r.Utilization = r.BusyNodeSeconds / (float64(r.Nodes) * float64(r.Makespan))
+	}
+
+	nanos := make([]float64, len(decisionTimes))
+	for i, d := range decisionTimes {
+		nanos[i] = float64(d.Nanoseconds())
+	}
+	r.DecisionNanos = stats.Summarize(nanos)
+	return r
+}
+
+// Validate checks internal consistency of a computed Result.
+func (r Result) Validate() error {
+	switch {
+	case r.Finished+r.Killed > r.Submitted:
+		return fmt.Errorf("metrics: finished %d + killed %d > submitted %d",
+			r.Finished, r.Killed, r.Submitted)
+	case r.WastedNodeSeconds < 0:
+		return fmt.Errorf("metrics: negative wasted node-seconds %g", r.WastedNodeSeconds)
+	case r.CompEfficiency < 0:
+		return fmt.Errorf("metrics: negative computational efficiency %g", r.CompEfficiency)
+	// Scheduling efficiency may legitimately exceed 1: the ideal makespan is
+	// a rate-1 packing bound, and SMT sharing can deliver more than one
+	// dedicated-node-second of work per node-second.
+	case r.SchedEfficiency < 0:
+		return fmt.Errorf("metrics: negative scheduling efficiency %g", r.SchedEfficiency)
+	case r.Utilization < 0 || r.Utilization > 1+1e-9:
+		return fmt.Errorf("metrics: utilization %g outside [0,1]", r.Utilization)
+	case r.SharedFraction < 0 || r.SharedFraction > 1+1e-9:
+		return fmt.Errorf("metrics: shared fraction %g outside [0,1]", r.SharedFraction)
+	}
+	return nil
+}
+
+// String renders a one-line run summary.
+func (r Result) String() string {
+	return fmt.Sprintf(
+		"%s: %d/%d jobs, makespan=%s CE=%.3f SE=%.3f util=%.3f shared=%.2f wait(mean)=%s",
+		r.Policy, r.Finished, r.Submitted, r.Makespan,
+		r.CompEfficiency, r.SchedEfficiency, r.Utilization, r.SharedFraction,
+		des.Duration(r.Wait.Mean))
+}

@@ -1,0 +1,96 @@
+// Package queueing provides the M/M/c analytic results used to validate the
+// simulator: with single-node jobs, exponential runtimes, Poisson arrivals,
+// and FCFS scheduling, the batch system is exactly an M/M/c queue, so the
+// simulated mean wait must match the Erlang-C prediction. The validation
+// test in internal/sim exercises this end to end — a whole-pipeline check
+// that event ordering, placement, and metric accounting are consistent.
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// MMc describes an M/M/c queue: Poisson arrivals at rate lambda, exponential
+// service at rate mu per server, c identical servers.
+type MMc struct {
+	// Lambda is the arrival rate (jobs per second).
+	Lambda float64
+	// Mu is the per-server service rate (1 / mean service time).
+	Mu float64
+	// C is the server count.
+	C int
+}
+
+// Validate checks the queue is stable and well formed.
+func (q MMc) Validate() error {
+	if q.Lambda <= 0 || q.Mu <= 0 || q.C <= 0 {
+		return fmt.Errorf("queueing: non-positive parameters %+v", q)
+	}
+	if q.Utilization() >= 1 {
+		return fmt.Errorf("queueing: unstable queue (ρ = %g ≥ 1)", q.Utilization())
+	}
+	return nil
+}
+
+// Utilization returns ρ = λ/(cµ).
+func (q MMc) Utilization() float64 {
+	return q.Lambda / (float64(q.C) * q.Mu)
+}
+
+// OfferedLoad returns a = λ/µ (in Erlangs).
+func (q MMc) OfferedLoad() float64 { return q.Lambda / q.Mu }
+
+// ErlangC returns the probability an arriving job must wait,
+// C(c, a) with a the offered load. Computed with the numerically stable
+// iterative form of the Erlang-B recurrence.
+func (q MMc) ErlangC() float64 {
+	a := q.OfferedLoad()
+	c := q.C
+	// Erlang B by recurrence: B(0) = 1; B(k) = aB(k-1) / (k + aB(k-1)).
+	b := 1.0
+	for k := 1; k <= c; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	rho := q.Utilization()
+	return b / (1 - rho + rho*b)
+}
+
+// MeanWait returns Wq, the expected time in queue.
+func (q MMc) MeanWait() float64 {
+	if err := q.Validate(); err != nil {
+		panic(err)
+	}
+	return q.ErlangC() / (float64(q.C)*q.Mu - q.Lambda)
+}
+
+// MeanResponse returns W = Wq + 1/µ, the expected time in system.
+func (q MMc) MeanResponse() float64 { return q.MeanWait() + 1/q.Mu }
+
+// MeanQueueLength returns Lq = λ·Wq (Little's law).
+func (q MMc) MeanQueueLength() float64 { return q.Lambda * q.MeanWait() }
+
+// MM1Wait returns the closed-form M/M/1 mean wait ρ/(µ−λ), used as an
+// independent cross-check of the Erlang-C path for c = 1.
+func MM1Wait(lambda, mu float64) float64 {
+	if lambda <= 0 || mu <= 0 || lambda >= mu {
+		panic(fmt.Sprintf("queueing: MM1Wait(%g, %g)", lambda, mu))
+	}
+	rho := lambda / mu
+	return rho / (mu - lambda)
+}
+
+// WaitPercentileApprox returns the p-th percentile (0<p<1) of the waiting
+// time for waiting customers plus the atom at zero: P(W ≤ t) =
+// 1 − C(c,a)·exp(−(cµ−λ)t). Used for sanity checks on wait distributions.
+func (q MMc) WaitPercentileApprox(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("queueing: percentile %g", p))
+	}
+	pc := q.ErlangC()
+	if p <= 1-pc {
+		return 0 // the job starts immediately with probability 1 − C
+	}
+	rate := float64(q.C)*q.Mu - q.Lambda
+	return -math.Log((1-p)/pc) / rate
+}

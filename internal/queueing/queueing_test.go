@@ -1,0 +1,115 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestValidate(t *testing.T) {
+	good := MMc{Lambda: 1, Mu: 2, C: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []MMc{
+		{Lambda: 0, Mu: 1, C: 1},
+		{Lambda: 1, Mu: 0, C: 1},
+		{Lambda: 1, Mu: 1, C: 0},
+		{Lambda: 2, Mu: 1, C: 1}, // unstable
+		{Lambda: 4, Mu: 1, C: 4}, // ρ = 1 exactly
+	}
+	for i, q := range bad {
+		if err := q.Validate(); err == nil {
+			t.Errorf("bad queue %d accepted: %+v", i, q)
+		}
+	}
+}
+
+func TestErlangCKnownValues(t *testing.T) {
+	// Textbook values: c = 2, a = 1 (ρ = 0.5) → C ≈ 0.3333.
+	q := MMc{Lambda: 1, Mu: 1, C: 2}
+	if got := q.ErlangC(); !almost(got, 1.0/3, 1e-9) {
+		t.Fatalf("ErlangC(2, 1) = %g, want 1/3", got)
+	}
+	// c = 1 reduces to ρ.
+	q = MMc{Lambda: 0.7, Mu: 1, C: 1}
+	if got := q.ErlangC(); !almost(got, 0.7, 1e-9) {
+		t.Fatalf("ErlangC(1, 0.7) = %g, want 0.7", got)
+	}
+	// Large c, low load: waiting probability ≈ 0.
+	q = MMc{Lambda: 1, Mu: 1, C: 64}
+	if got := q.ErlangC(); got > 1e-10 {
+		t.Fatalf("ErlangC(64, 1) = %g, want ≈0", got)
+	}
+}
+
+func TestMM1Consistency(t *testing.T) {
+	// The Erlang-C path at c = 1 must reproduce the closed-form M/M/1 wait.
+	lambda, mu := 0.8, 1.0
+	q := MMc{Lambda: lambda, Mu: mu, C: 1}
+	if got, want := q.MeanWait(), MM1Wait(lambda, mu); !almost(got, want, 1e-9) {
+		t.Fatalf("MMc wait %g ≠ MM1 wait %g", got, want)
+	}
+}
+
+func TestLittlesLaw(t *testing.T) {
+	q := MMc{Lambda: 3, Mu: 1, C: 4}
+	if got, want := q.MeanQueueLength(), q.Lambda*q.MeanWait(); !almost(got, want, 1e-12) {
+		t.Fatalf("Lq = %g, λWq = %g", got, want)
+	}
+}
+
+func TestMeanResponse(t *testing.T) {
+	q := MMc{Lambda: 1, Mu: 2, C: 1}
+	if got, want := q.MeanResponse(), q.MeanWait()+0.5; !almost(got, want, 1e-12) {
+		t.Fatalf("W = %g, want %g", got, want)
+	}
+}
+
+func TestMeanWaitPanicsOnUnstable(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unstable MeanWait did not panic")
+		}
+	}()
+	MMc{Lambda: 5, Mu: 1, C: 2}.MeanWait()
+}
+
+func TestMM1WaitPanics(t *testing.T) {
+	for _, args := range [][2]float64{{0, 1}, {1, 0}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MM1Wait(%v) did not panic", args)
+				}
+			}()
+			MM1Wait(args[0], args[1])
+		}()
+	}
+}
+
+func TestWaitPercentile(t *testing.T) {
+	q := MMc{Lambda: 1.5, Mu: 1, C: 2}
+	// Below the no-wait mass the percentile is 0.
+	pc := q.ErlangC()
+	if got := q.WaitPercentileApprox((1 - pc) / 2); got != 0 {
+		t.Fatalf("percentile below no-wait mass = %g", got)
+	}
+	// Percentiles are monotone above the mass.
+	p90 := q.WaitPercentileApprox(0.90)
+	p99 := q.WaitPercentileApprox(0.99)
+	if p90 <= 0 || p99 <= p90 {
+		t.Fatalf("percentiles not monotone: p90=%g p99=%g", p90, p99)
+	}
+	for _, p := range []float64{0, 1, -1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("percentile %g did not panic", p)
+				}
+			}()
+			q.WaitPercentileApprox(p)
+		}()
+	}
+}

@@ -1,0 +1,167 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/app"
+	"repro/internal/cluster"
+	"repro/internal/des"
+	"repro/internal/interference"
+	"repro/internal/job"
+)
+
+// buildRandomState constructs an arbitrary mid-run scheduling state from
+// fuzz bytes: some running jobs on layer or exclusive placements, some
+// queued jobs, varying sizes and apps.
+func buildRandomState(t *testing.T, seed []byte) *Context {
+	t.Helper()
+	c := cluster.New(cluster.Config{
+		Nodes: 12, CoresPerNode: 4, ThreadsPerCore: 2, MemoryPerNodeMB: 1000,
+	})
+	cat := app.Catalogue()
+	next := byte(0)
+	take := func() int {
+		if len(seed) == 0 {
+			next++
+			return int(next)
+		}
+		v := int(seed[0])
+		seed = seed[1:]
+		return v
+	}
+
+	var running []*RunningJob
+	id := cluster.JobID(1000)
+	// Up to 6 running jobs on random free node prefixes.
+	for k := 0; k < take()%7; k++ {
+		nodes := 1 + take()%4
+		var free []int
+		for ni := 0; ni < c.Size() && len(free) < nodes; ni++ {
+			if c.Node(ni).Idle() {
+				free = append(free, ni)
+			}
+		}
+		if len(free) < nodes {
+			break
+		}
+		a := cat[take()%len(cat)]
+		id++
+		j := &job.Job{ID: id, Name: "run", App: a, Nodes: nodes,
+			ReqWalltime: des.Duration(1000 + take()), TrueRuntime: 900, Submit: 0}
+		var p cluster.Placement
+		exclusive := take()%2 == 0
+		if exclusive {
+			p = c.ExclusivePlacement(id, free, a.MemPerNodeMB%900+50)
+		} else {
+			p = c.LayerPlacement(id, free, cluster.PrimaryLayer, a.MemPerNodeMB%900+50)
+		}
+		if err := c.Allocate(p); err != nil {
+			t.Fatalf("setup allocation failed: %v", err)
+		}
+		j.Start(0)
+		end := des.Time(500 + take()*7)
+		running = append(running, &RunningJob{
+			Job: j, NodeIDs: free, Exclusive: exclusive,
+			NominalEnd: end, PredictedEnd: end, Rate: 1,
+		})
+	}
+
+	var queue []*job.Job
+	for k := 0; k < 2+take()%10; k++ {
+		a := cat[take()%len(cat)]
+		wall := des.Duration(300 + 100*(take()%20))
+		id++
+		queue = append(queue, &job.Job{
+			ID: id, Name: "q", App: a, Nodes: 1 + take()%13, // may exceed machine
+			ReqWalltime: wall, TrueRuntime: wall, Submit: des.Time(take()),
+		})
+	}
+
+	return &Context{
+		Now:     des.Time(100),
+		Cluster: c,
+		Queue:   queue,
+		Running: running,
+		Inter:   interference.Default(),
+		Share:   DefaultShareConfig(),
+	}
+}
+
+// Property (all policies): on any reachable state, every decision batch is
+// (a) for jobs actually in the queue, (b) without duplicate job starts,
+// (c) committable as-is against the live cluster, and (d) sized exactly to
+// each job's node request.
+func TestProperty_DecisionsAlwaysCommittable(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			pol, err := New(name, DefaultShareConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			f := func(seed []byte) bool {
+				ctx := buildRandomState(t, seed)
+				queued := map[cluster.JobID]bool{}
+				for _, j := range ctx.Queue {
+					queued[j.ID] = true
+				}
+				decisions := pol.Schedule(ctx)
+				seen := map[cluster.JobID]bool{}
+				for _, d := range decisions {
+					if !queued[d.Job.ID] {
+						t.Logf("%s started non-queued job %d", name, d.Job.ID)
+						return false
+					}
+					if seen[d.Job.ID] {
+						t.Logf("%s started job %d twice", name, d.Job.ID)
+						return false
+					}
+					seen[d.Job.ID] = true
+					if len(d.Placement.Nodes) != d.Job.Nodes {
+						t.Logf("%s sized job %d at %d nodes, requested %d",
+							name, d.Job.ID, len(d.Placement.Nodes), d.Job.Nodes)
+						return false
+					}
+					if d.EstimatedRate <= 0 || d.EstimatedRate > 1 {
+						t.Logf("%s estimated rate %g", name, d.EstimatedRate)
+						return false
+					}
+					if err := ctx.Cluster.Allocate(d.Placement); err != nil {
+						t.Logf("%s produced uncommittable placement: %v", name, err)
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Property: Schedule must not mutate the cluster (it simulates commits on
+// scratch state only).
+func TestProperty_ScheduleIsPure(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			pol, err := New(name, DefaultShareConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			f := func(seed []byte) bool {
+				ctx := buildRandomState(t, seed)
+				before := ctx.Cluster.BusyThreads()
+				busyBefore := ctx.Cluster.BusyNodes()
+				pol.Schedule(ctx)
+				return ctx.Cluster.BusyThreads() == before &&
+					ctx.Cluster.BusyNodes() == busyBefore
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,360 @@
+// Package sched implements the batch scheduling policies under study.
+//
+// Baselines (standard node allocation, nodes are exclusive):
+//
+//	FCFS         strict first-come-first-served
+//	FirstFit     queue scan, start whatever fits
+//	EASY         aggressive backfill with one reservation for the queue head
+//	Conservative backfill with reservations for every queued job
+//
+// Paper contributions (node sharing by SMT core oversubscription):
+//
+//	ShareFirstFit     co-allocation-aware first fit
+//	ShareBackfill     co-allocation-aware EASY backfill
+//	ShareConservative co-allocation-aware conservative backfill
+//
+// A policy is a pure decision procedure: it inspects a Context (queue,
+// running set, cluster, interference model) and returns the list of jobs to
+// start now together with their placements. The simulator owns all state
+// mutation, which keeps every policy trivially testable.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/app"
+	"repro/internal/cluster"
+	"repro/internal/des"
+	"repro/internal/interference"
+	"repro/internal/job"
+	"repro/internal/topology"
+)
+
+// ShareConfig tunes the sharing-capable policies. The zero value disables
+// sharing entirely (the policy degrades to its exclusive ancestor).
+type ShareConfig struct {
+	// Enabled turns co-allocation on.
+	Enabled bool
+	// MaxDegree caps the number of jobs per node; 2 matches the paper's
+	// hyper-threading sharing (one job per hardware-thread layer).
+	MaxDegree int
+	// MinComplementarity rejects pairings whose stress vectors overlap too
+	// much (see app.Complementarity). 0 accepts everything.
+	MinComplementarity float64
+	// PairingAware sorts co-allocation candidates by complementarity with
+	// the resident job; disabled (ablation) picks candidates in node order.
+	PairingAware bool
+	// InflationAccounting makes backfill reservations use
+	// interference-inflated completion estimates, preserving the EASY
+	// no-delay guarantee under sharing. Disabling it (ablation) plans with
+	// nominal walltimes and can delay the queue head.
+	InflationAccounting bool
+	// PreferShared places jobs on co-allocation candidates before idle
+	// nodes; disabling it (ablation) exhausts idle nodes first and shares
+	// only under pressure.
+	PreferShared bool
+	// MinEstimatedRate rejects co-allocations whose estimated progress
+	// rate — for the incoming job or any resident — falls below this
+	// floor. Zero disables the check. Unlike MinComplementarity (a cheap
+	// stress-vector heuristic), this gate consults the interference model
+	// itself, so it also honors empirically measured pair matrices.
+	MinEstimatedRate float64
+}
+
+// DefaultShareConfig returns the configuration the paper's strategies use.
+func DefaultShareConfig() ShareConfig {
+	return ShareConfig{
+		Enabled:             true,
+		MaxDegree:           2,
+		MinComplementarity:  0.40,
+		PairingAware:        true,
+		InflationAccounting: true,
+		PreferShared:        true,
+	}
+}
+
+// RunningJob is the scheduler-visible state of a started job.
+type RunningJob struct {
+	// Job is the underlying job (read-only for policies).
+	Job *job.Job
+	// NodeIDs are the nodes the job occupies.
+	NodeIDs []int
+	// Exclusive reports whether the job holds whole nodes.
+	Exclusive bool
+	// NominalEnd is the walltime-limit end ignoring sharing inflation
+	// (start + requested walltime).
+	NominalEnd des.Time
+	// PredictedEnd is the inflation-aware completion estimate maintained by
+	// the simulator: now + remaining requested work / current progress rate.
+	PredictedEnd des.Time
+	// Rate is the job's current progress rate (1 when running dedicated).
+	Rate float64
+}
+
+// Decision is one start action returned by a policy.
+type Decision struct {
+	// Job is the job to start.
+	Job *job.Job
+	// Placement is the exact allocation to commit.
+	Placement cluster.Placement
+	// Shared marks a co-allocation (the job lands on nodes that already
+	// host another job).
+	Shared bool
+	// EstimatedRate is the policy's conservative progress-rate estimate for
+	// the placement (1 for exclusive placements).
+	EstimatedRate float64
+}
+
+// Context is the scheduler's view of the world at one decision point.
+type Context struct {
+	// Now is the current simulated time.
+	Now des.Time
+	// Cluster is the machine (policies must treat it as read-only).
+	Cluster *cluster.Cluster
+	// Queue holds pending jobs in priority order (head first).
+	Queue []*job.Job
+	// Running holds the running set.
+	Running []*RunningJob
+	// Inter is the co-run model used for pairing decisions and inflation
+	// estimates.
+	Inter *interference.Model
+	// Share is the sharing configuration.
+	Share ShareConfig
+	// Topo, when set, makes placement locality-aware: idle candidates are
+	// ordered compactly so jobs span as few leaf switches as possible.
+	Topo *topology.Topology
+
+	// residentIdx caches node → running jobs for the pass; built lazily by
+	// residents (the co-allocation paths query it once per node per queued
+	// job, so the linear scan must not repeat).
+	residentIdx map[int][]*RunningJob
+}
+
+// residents returns the running jobs occupying node ni, using a lazily
+// built index over ctx.Running.
+func (ctx *Context) residents(ni int) []*RunningJob {
+	if ctx.residentIdx == nil {
+		ctx.residentIdx = make(map[int][]*RunningJob, len(ctx.Running))
+		for _, r := range ctx.Running {
+			for _, n := range r.NodeIDs {
+				ctx.residentIdx[n] = append(ctx.residentIdx[n], r)
+			}
+		}
+	}
+	return ctx.residentIdx[ni]
+}
+
+// Policy decides which queued jobs start now.
+type Policy interface {
+	// Name returns the policy's registry name.
+	Name() string
+	// Schedule returns start decisions in commit order. Implementations
+	// must not mutate the cluster; they simulate their own commits on
+	// scratch state derived from ctx.
+	Schedule(ctx *Context) []Decision
+}
+
+// New constructs a policy by registry name: "fcfs", "firstfit", "easy",
+// "conservative", "sharefirstfit", "sharebackfill", "shareconservative".
+// The share configuration applies to the sharing policies and is ignored by
+// the baselines.
+func New(name string, share ShareConfig) (Policy, error) {
+	switch name {
+	case "fcfs":
+		return FCFS{}, nil
+	case "firstfit":
+		return FirstFit{}, nil
+	case "easy":
+		return EASY{}, nil
+	case "conservative":
+		return Conservative{}, nil
+	case "sharefirstfit":
+		return ShareFirstFit{Config: share}, nil
+	case "sharebackfill":
+		return ShareBackfill{Config: share}, nil
+	case "shareconservative":
+		return ShareConservative{Config: share}, nil
+	default:
+		return nil, fmt.Errorf("sched: unknown policy %q", name)
+	}
+}
+
+// Names returns the registry names of all policies, baselines first.
+func Names() []string {
+	return []string{
+		"fcfs", "firstfit", "easy", "conservative",
+		"sharefirstfit", "sharebackfill", "shareconservative",
+	}
+}
+
+// predictedEnd returns the completion estimate a policy should plan with,
+// honoring the inflation-accounting switch.
+func predictedEnd(r *RunningJob, share ShareConfig) des.Time {
+	if share.Enabled && share.InflationAccounting {
+		return r.PredictedEnd
+	}
+	return r.NominalEnd
+}
+
+// fitsMachine reports whether the job could ever run on this machine: node
+// request within the cluster and per-node memory within node capacity. The
+// simulator rejects unfittable jobs at submission; policies re-check so they
+// stay robust against foreign queue contents (and FCFS does not block its
+// queue forever behind an impossible head).
+func fitsMachine(ctx *Context, j *job.Job) bool {
+	cfg := ctx.Cluster.Config()
+	return j.Nodes <= cfg.Nodes && j.App.MemPerNodeMB <= cfg.MemoryPerNodeMB
+}
+
+// idleCandidates returns the schedulable idle nodes minus exclusions, in
+// locality-compact order when a topology is configured.
+func idleCandidates(ctx *Context, exclude map[int]bool) []int {
+	var out []int
+	for _, ni := range ctx.Cluster.IdleNodes() {
+		if !exclude[ni] {
+			out = append(out, ni)
+		}
+	}
+	if ctx.Topo != nil {
+		out = ctx.Topo.CompactOrder(out)
+	}
+	return out
+}
+
+// pickIdle returns the first n idle node indices and true, or nil and false
+// when fewer than n nodes are idle.
+func pickIdle(ctx *Context, n int, exclude map[int]bool) ([]int, bool) {
+	cand := idleCandidates(ctx, exclude)
+	if len(cand) < n {
+		return nil, false
+	}
+	return cand[:n], true
+}
+
+// shareCandidate is one co-allocatable node with its pairing quality.
+type shareCandidate struct {
+	node  int
+	score float64
+	rate  float64 // estimated progress rate for the incoming job
+}
+
+// hostGroup is the co-allocatable node set of one running host job. Grouping
+// matters because a parallel job runs at the rate of its slowest node: a
+// guest that fully covers a host slows it uniformly and wastes nothing,
+// whereas a guest sitting on a fraction of a host's nodes drags the whole
+// host down while the uncovered nodes idle along. Sharing strategies
+// therefore prefer whole-host coverage.
+type hostGroup struct {
+	nodes    []shareCandidate
+	score    float64 // worst pairing score across the group
+	rate     float64 // worst estimated guest rate across the group
+	fullHost bool    // group spans every node of the host job
+}
+
+// nodeUsableFor reports whether node ni can host j as a co-runner and, if
+// so, returns the pairing score (worst complementarity across residents) and
+// the guest's estimated progress rate there.
+func nodeUsableFor(ctx *Context, j *job.Job, ni int, exclude map[int]bool) (shareCandidate, bool) {
+	cfg := ctx.Share
+	c := ctx.Cluster
+	if exclude[ni] {
+		return shareCandidate{}, false
+	}
+	n := c.Node(ni)
+	if n.Idle() || n.Drained() || n.SharingDegree() >= cfg.MaxDegree ||
+		n.MemFreeMB() < j.App.MemPerNodeMB {
+		return shareCandidate{}, false
+	}
+	if _, ok := freeLayerOn(c, ni); !ok {
+		return shareCandidate{}, false
+	}
+	residents := ctx.residents(ni)
+	if len(residents) == 0 {
+		// Node busy but no running record — a foreign allocation; skip.
+		return shareCandidate{}, false
+	}
+	score := 1.0
+	loads := []interference.Load{{App: j.App.Name, Stress: j.App.Stress}}
+	for _, r := range residents {
+		s := app.Complementarity(j.App.Stress, r.Job.App.Stress)
+		if s < score {
+			score = s
+		}
+		loads = append(loads, interference.Load{App: r.Job.App.Name, Stress: r.Job.App.Stress})
+	}
+	if score < cfg.MinComplementarity {
+		return shareCandidate{}, false
+	}
+	rates := ctx.Inter.NamedRates(loads)
+	if cfg.MinEstimatedRate > 0 {
+		for _, r := range rates {
+			if r < cfg.MinEstimatedRate {
+				return shareCandidate{}, false
+			}
+		}
+	}
+	return shareCandidate{node: ni, score: score, rate: rates[0]}, true
+}
+
+// hostGroupsFor collects the co-allocation host groups for j, best first
+// when pairing-aware: full-host coverage ranks above partial, then pairing
+// score, then host job ID for determinism.
+func hostGroupsFor(ctx *Context, j *job.Job, exclude map[int]bool) []hostGroup {
+	cfg := ctx.Share
+	if !cfg.Enabled {
+		return nil
+	}
+	var groups []hostGroup
+	seen := map[int]bool{} // nodes already captured via an earlier host
+	for _, r := range ctx.Running {
+		g := hostGroup{score: 1, rate: 1}
+		for _, ni := range r.NodeIDs {
+			if seen[ni] {
+				continue
+			}
+			cand, ok := nodeUsableFor(ctx, j, ni, exclude)
+			if !ok {
+				continue
+			}
+			seen[ni] = true
+			g.nodes = append(g.nodes, cand)
+			if cand.score < g.score {
+				g.score = cand.score
+			}
+			if cand.rate < g.rate {
+				g.rate = cand.rate
+			}
+		}
+		if len(g.nodes) == 0 {
+			continue
+		}
+		g.fullHost = len(g.nodes) == len(r.NodeIDs)
+		groups = append(groups, g)
+	}
+	if cfg.PairingAware {
+		sort.SliceStable(groups, func(a, b int) bool {
+			if groups[a].fullHost != groups[b].fullHost {
+				return groups[a].fullHost
+			}
+			if groups[a].score != groups[b].score {
+				return groups[a].score > groups[b].score
+			}
+			return groups[a].nodes[0].node < groups[b].nodes[0].node
+		})
+	}
+	return groups
+}
+
+// freeLayerOn returns a fully free layer on node ni. It prefers the highest
+// layer index (secondary threads) so co-allocated jobs land on SMT siblings,
+// matching the paper's oversubscription mechanism.
+func freeLayerOn(c *cluster.Cluster, ni int) (cluster.Layer, bool) {
+	tpc := c.Config().ThreadsPerCore
+	for l := tpc - 1; l >= 0; l-- {
+		if c.LayerFree(ni, cluster.Layer(l)) {
+			return cluster.Layer(l), true
+		}
+	}
+	return 0, false
+}

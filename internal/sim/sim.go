@@ -1,0 +1,712 @@
+// Package sim is the batch-system simulation engine: it wires the
+// discrete-event kernel, the cluster model, a scheduling policy, and the
+// interference model into runnable experiments.
+//
+// The engine owns all state mutation. Policies only return decisions; the
+// engine commits them, starts jobs, and — the part specific to node sharing —
+// re-integrates every affected job's progress whenever co-location changes:
+// a job's progress rate is the minimum, over the nodes it occupies, of its
+// interference-model rate among that node's residents (bulk-synchronous
+// semantics: the slowest node paces the whole job). Completion events are
+// rescheduled on every rate change, so completions are exact up to float
+// round-off.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/app"
+	"repro/internal/cluster"
+	"repro/internal/des"
+	"repro/internal/interference"
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/topology"
+)
+
+// Config assembles an engine.
+type Config struct {
+	// Cluster is the machine to simulate.
+	Cluster cluster.Config
+	// Policy is the scheduling policy under test.
+	Policy sched.Policy
+	// Inter is the co-run model; nil selects interference.Default().
+	Inter *interference.Model
+	// StrictLimits, when set, kills a job when its wall-clock execution
+	// exceeds the requested walltime, as an unmodified batch system would.
+	// The default (false) models the paper's limit extension: when the
+	// system itself slows a job by co-allocating beside it, the limit
+	// stretches by the measured inflation, so jobs are only ever killed
+	// for under-requesting — which the generator never does. Strict limits
+	// with sharing kill stretched jobs and waste their occupancy (ablation
+	// A4).
+	StrictLimits bool
+	// Topo, when set, makes network interference placement-dependent: a
+	// job spread across leaf switches has its effective network stress
+	// scaled by the topology's uplink factor, so scattered co-locations
+	// interfere more. Nil keeps the interconnect transparent.
+	Topo *topology.Topology
+	// LocalityAware passes the topology to the scheduling policies so
+	// they order idle candidates compactly (fewest leaf switches per
+	// job). Requires Topo; the F10 experiment ablates it.
+	LocalityAware bool
+	// SchedInterval batches scheduling onto a periodic tick (SLURM's
+	// backfill runs every bf_interval seconds, 30 by default) instead of
+	// reacting to every event. Zero keeps the event-driven default, which
+	// bounds the best achievable responsiveness.
+	SchedInterval des.Duration
+}
+
+// shareConfigurer is implemented by the sharing policies to expose their
+// configuration; the engine passes it through to the scheduling context.
+type shareConfigurer interface {
+	ShareConfig() sched.ShareConfig
+}
+
+// runRec is the engine's bookkeeping for one running job.
+type runRec struct {
+	job        *job.Job
+	rec        *sched.RunningJob
+	completion *des.Event
+	kill       *des.Event // set only under strict limits
+}
+
+// Engine simulates one batch system instance.
+type Engine struct {
+	sim   *des.Simulator
+	cl    *cluster.Cluster
+	pol   sched.Policy
+	inter *interference.Model
+	share sched.ShareConfig
+	topo  *topology.Topology
+	local bool
+
+	strictLimits  bool
+	schedInterval des.Duration
+
+	queue    []*job.Job // pending jobs, FCFS order
+	held     []*job.Job // arrived but dependency-blocked
+	done     map[cluster.JobID]bool
+	failed   map[cluster.JobID]bool // killed/cancelled: afterok never satisfied
+	running  map[cluster.JobID]*runRec
+	finished []*job.Job
+	rejected []*job.Job
+	killed   []*job.Job
+	history  []PlacementRecord
+
+	wastedNodeSeconds float64
+
+	submitted int
+	lastEnd   des.Time // completion time of the last finished job
+
+	// Busy/shared node-second integrals.
+	lastAccount    des.Time
+	busyIntegral   float64
+	sharedIntegral float64
+
+	decisionTimes []time.Duration
+	schedQueued   bool
+
+	// TraceFn, when set, receives one line per simulation event
+	// (submission, start, completion) for debugging and the CLI's
+	// --trace mode.
+	TraceFn func(line string)
+
+	// lessFn orders the pending queue for the scheduler; nil means FCFS
+	// (submit time, then ID). The SLURM layer installs multifactor
+	// priority here.
+	lessFn func(a, b *job.Job) bool
+}
+
+// New builds an engine. It panics on invalid configuration (programming
+// error at experiment setup).
+func New(cfg Config) *Engine {
+	if cfg.Policy == nil {
+		panic("sim: Config.Policy is nil")
+	}
+	inter := cfg.Inter
+	if inter == nil {
+		inter = interference.Default()
+	}
+	if cfg.Topo != nil {
+		if err := cfg.Topo.Validate(); err != nil {
+			panic(err)
+		}
+	}
+	if cfg.LocalityAware && cfg.Topo == nil {
+		panic("sim: LocalityAware requires Topo")
+	}
+	e := &Engine{
+		sim:           des.NewSimulator(),
+		cl:            cluster.New(cfg.Cluster),
+		pol:           cfg.Policy,
+		inter:         inter,
+		strictLimits:  cfg.StrictLimits,
+		schedInterval: cfg.SchedInterval,
+		topo:          cfg.Topo,
+		local:         cfg.LocalityAware,
+		running:       make(map[cluster.JobID]*runRec),
+		done:          make(map[cluster.JobID]bool),
+		failed:        make(map[cluster.JobID]bool),
+	}
+	if sc, ok := cfg.Policy.(shareConfigurer); ok {
+		e.share = sc.ShareConfig()
+	}
+	return e
+}
+
+// Cluster exposes the machine (read-only use expected).
+func (e *Engine) Cluster() *cluster.Cluster { return e.cl }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() des.Time { return e.sim.Now() }
+
+// Policy returns the policy under test.
+func (e *Engine) Policy() sched.Policy { return e.pol }
+
+// Submit registers a job for arrival at j.Submit. Jobs whose node request
+// exceeds the machine are recorded as rejected at arrival time. Submission
+// is also legal mid-run (the interactive SLURM layer uses it) as long as
+// j.Submit is not in the simulated past.
+func (e *Engine) Submit(j *job.Job) error {
+	if err := j.Validate(); err != nil {
+		return err
+	}
+	e.submitted++
+	e.sim.Schedule(j.Submit, func(*des.Simulator) {
+		if j.Nodes > e.cl.Size() {
+			j.Cancel(e.sim.Now())
+			e.failed[j.ID] = true
+			e.rejected = append(e.rejected, j)
+			e.trace("reject %s (machine has %d nodes)", j, e.cl.Size())
+			e.releaseHeld()
+			return
+		}
+		if j.App.MemPerNodeMB > e.cl.Config().MemoryPerNodeMB {
+			j.Cancel(e.sim.Now())
+			e.failed[j.ID] = true
+			e.rejected = append(e.rejected, j)
+			e.trace("reject %s (needs %d MB/node, nodes have %d MB)",
+				j, j.App.MemPerNodeMB, e.cl.Config().MemoryPerNodeMB)
+			e.releaseHeld()
+			return
+		}
+		if e.depsBroken(j) {
+			j.Cancel(e.sim.Now())
+			e.failed[j.ID] = true
+			e.rejected = append(e.rejected, j)
+			e.trace("cancel %s (dependency failed)", j)
+			return
+		}
+		if !e.depsMet(j) {
+			e.held = append(e.held, j)
+			e.trace("hold %s (dependencies pending)", j)
+			return
+		}
+		e.queue = append(e.queue, j)
+		e.trace("submit %s", j)
+		e.requestSchedule()
+	})
+	return nil
+}
+
+// depsMet reports whether every dependency of j has finished.
+func (e *Engine) depsMet(j *job.Job) bool {
+	for _, dep := range j.After {
+		if !e.done[dep] {
+			return false
+		}
+	}
+	return true
+}
+
+// releaseHeld moves dependency-satisfied held jobs into the queue and
+// cancels jobs whose dependencies can no longer succeed (afterok
+// semantics: a killed or cancelled predecessor dooms the dependent).
+func (e *Engine) releaseHeld() {
+	for {
+		progressed := false
+		kept := e.held[:0]
+		for _, j := range e.held {
+			switch {
+			case e.depsBroken(j):
+				j.Cancel(e.sim.Now())
+				e.failed[j.ID] = true
+				e.rejected = append(e.rejected, j)
+				e.trace("cancel %s (dependency failed)", j)
+				progressed = true // may doom transitive dependents
+			case e.depsMet(j):
+				e.queue = append(e.queue, j)
+				e.trace("release %s (dependencies met)", j)
+				e.requestSchedule()
+				progressed = true
+			default:
+				kept = append(kept, j)
+			}
+		}
+		e.held = append([]*job.Job(nil), kept...)
+		if !progressed {
+			return
+		}
+	}
+}
+
+// depsBroken reports whether any dependency of j terminally failed.
+func (e *Engine) depsBroken(j *job.Job) bool {
+	for _, dep := range j.After {
+		if e.failed[dep] {
+			return true
+		}
+	}
+	return false
+}
+
+// SubmitAll submits a batch, stopping at the first invalid job.
+func (e *Engine) SubmitAll(jobs []*job.Job) error {
+	for _, j := range jobs {
+		if err := e.Submit(j); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes the simulation until the event queue drains or the horizon
+// passes.
+func (e *Engine) Run(until des.Time) {
+	e.sim.Run(until)
+	e.account(e.sim.Now())
+}
+
+// RunAll executes until no events remain.
+func (e *Engine) RunAll() { e.Run(des.Forever) }
+
+// requestSchedule queues a scheduling pass: at the current instant when
+// event-driven, or at the next periodic tick when a scheduling interval is
+// configured. Multiple requests per instant/tick coalesce into one pass.
+func (e *Engine) requestSchedule() {
+	if e.schedQueued {
+		return
+	}
+	at := e.sim.Now()
+	if e.schedInterval > 0 {
+		// Align to the next tick boundary (a request exactly on a boundary
+		// runs on that boundary).
+		ticks := float64(at) / float64(e.schedInterval)
+		next := des.Time(math.Ceil(ticks)) * des.Time(e.schedInterval)
+		if next < at {
+			next = at
+		}
+		at = next
+	}
+	e.schedQueued = true
+	e.sim.Schedule(at, func(*des.Simulator) {
+		e.schedQueued = false
+		e.schedulePass()
+	})
+}
+
+// schedulePass runs the policy once and commits its decisions.
+func (e *Engine) schedulePass() {
+	if len(e.queue) == 0 {
+		return
+	}
+	ctx := &sched.Context{
+		Now:     e.sim.Now(),
+		Cluster: e.cl,
+		Queue:   e.queueSnapshot(),
+		Running: e.runningSnapshot(),
+		Inter:   e.inter,
+		Share:   e.share,
+	}
+	if e.local {
+		ctx.Topo = e.topo
+	}
+	start := time.Now()
+	decisions := e.pol.Schedule(ctx)
+	e.decisionTimes = append(e.decisionTimes, time.Since(start))
+
+	for _, d := range decisions {
+		e.commit(d)
+	}
+}
+
+// commit starts one job per the policy's decision.
+func (e *Engine) commit(d sched.Decision) {
+	now := e.sim.Now()
+	e.account(now)
+	if err := e.cl.Allocate(d.Placement); err != nil {
+		// A policy returned an uncommittable placement; that is a policy
+		// bug, surface it loudly.
+		panic(fmt.Sprintf("sim: policy %s produced invalid placement for job %d: %v",
+			e.pol.Name(), d.Job.ID, err))
+	}
+	e.removeFromQueue(d.Job.ID)
+	d.Job.Start(now)
+
+	rec := &runRec{
+		job: d.Job,
+		rec: &sched.RunningJob{
+			Job:        d.Job,
+			NodeIDs:    d.Placement.NodeIDs(),
+			Exclusive:  !d.Shared,
+			NominalEnd: now + d.Job.ReqWalltime,
+			Rate:       1,
+		},
+	}
+	rec.rec.PredictedEnd = rec.rec.NominalEnd
+	e.running[d.Job.ID] = rec
+	if e.strictLimits {
+		id := d.Job.ID
+		rec.kill = e.sim.Schedule(rec.rec.NominalEnd, func(*des.Simulator) {
+			e.onKill(id)
+		})
+	}
+	e.trace("start %s on nodes %v shared=%v", d.Job, rec.rec.NodeIDs, d.Shared)
+
+	// Starting this job may change rates for every resident of its nodes,
+	// including itself.
+	e.updateRatesOnNodes(rec.rec.NodeIDs)
+}
+
+// onComplete finishes a job, releases its resources, and updates the
+// co-residents it leaves behind.
+func (e *Engine) onComplete(id cluster.JobID) {
+	rec, ok := e.running[id]
+	if !ok {
+		panic(fmt.Sprintf("sim: completion for unknown job %d", id))
+	}
+	now := e.sim.Now()
+	e.account(now)
+
+	rec.job.Finish(now)
+	if rec.kill != nil {
+		e.sim.Cancel(rec.kill)
+	}
+	// When the kill path detected a zero-residue job and routed here, the
+	// job's own completion event is still pending at this same instant.
+	if rec.completion != nil {
+		e.sim.Cancel(rec.completion)
+	}
+	nodes, err := e.cl.Release(id)
+	if err != nil {
+		panic(fmt.Sprintf("sim: release job %d: %v", id, err))
+	}
+	delete(e.running, id)
+	e.finished = append(e.finished, rec.job)
+	e.done[id] = true
+	e.record(rec, job.Finished)
+	if now > e.lastEnd {
+		e.lastEnd = now
+	}
+	e.trace("finish %s", rec.job)
+	e.releaseHeld()
+
+	// Survivors on the freed nodes speed up.
+	e.updateRatesOnNodes(nodes)
+	e.requestSchedule()
+}
+
+// onKill enforces the walltime limit: the job is terminated with its work
+// discarded. A job whose residual work is round-off (completion and limit
+// coincide) is treated as completed instead.
+func (e *Engine) onKill(id cluster.JobID) {
+	rec, ok := e.running[id]
+	if !ok {
+		return // completed in the same instant; the cancel raced the event
+	}
+	now := e.sim.Now()
+	if rec.job.Remaining(now) < 1e-6 {
+		e.onComplete(id)
+		return
+	}
+	e.account(now)
+	rec.job.Kill(now)
+	if rec.completion != nil {
+		e.sim.Cancel(rec.completion)
+	}
+	nodes, err := e.cl.Release(id)
+	if err != nil {
+		panic(fmt.Sprintf("sim: release killed job %d: %v", id, err))
+	}
+	delete(e.running, id)
+	e.killed = append(e.killed, rec.job)
+	e.failed[id] = true
+	e.record(rec, job.Killed)
+	e.wastedNodeSeconds += float64(rec.job.Nodes) * float64(rec.job.EndTime()-rec.job.StartTime())
+	if now > e.lastEnd {
+		e.lastEnd = now
+	}
+	e.trace("kill %s at walltime limit (%.0fs of work lost)",
+		rec.job, float64(rec.job.TrueRuntime)-rec.job.DeliveredWork())
+	e.releaseHeld()
+
+	e.updateRatesOnNodes(nodes)
+	e.requestSchedule()
+}
+
+// updateRatesOnNodes re-derives the progress rate of every job touching the
+// given nodes and reschedules their completion events.
+func (e *Engine) updateRatesOnNodes(nodes []int) {
+	affected := map[cluster.JobID]bool{}
+	for _, ni := range nodes {
+		for _, id := range e.cl.Node(ni).Jobs() {
+			affected[id] = true
+		}
+	}
+	ids := make([]cluster.JobID, 0, len(affected))
+	for id := range affected {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		e.recomputeRate(id)
+	}
+}
+
+// recomputeRate applies the interference model across all of a job's nodes.
+func (e *Engine) recomputeRate(id cluster.JobID) {
+	rec, ok := e.running[id]
+	if !ok {
+		return // foreign allocation (not engine-managed); nothing to do
+	}
+	now := e.sim.Now()
+	rate := 1.0
+	for _, ni := range rec.rec.NodeIDs {
+		nodeRate := e.nodeRateFor(ni, id)
+		if nodeRate < rate {
+			rate = nodeRate
+		}
+	}
+	rec.job.SetRate(now, rate)
+	rec.rec.Rate = rate
+
+	// Requested-walltime-based predicted end for the scheduler's planning:
+	// remaining requested work over the current rate.
+	done := float64(rec.job.TrueRuntime) - rec.job.Remaining(now)
+	reqRemaining := float64(rec.job.ReqWalltime) - done
+	if reqRemaining < 0 {
+		reqRemaining = 0
+	}
+	rec.rec.PredictedEnd = now + des.Duration(reqRemaining/rate)
+
+	// Reschedule the exact completion.
+	if rec.completion != nil {
+		e.sim.Cancel(rec.completion)
+	}
+	eta := rec.job.ETA(now)
+	rec.completion = e.sim.Schedule(eta, func(*des.Simulator) {
+		e.onComplete(id)
+	})
+}
+
+// nodeRateFor returns the progress rate job id achieves on node ni given the
+// node's full co-location set.
+func (e *Engine) nodeRateFor(ni int, id cluster.JobID) float64 {
+	residents := e.cl.Node(ni).Jobs()
+	loads := make([]interference.Load, len(residents))
+	idx := -1
+	for i, rid := range residents {
+		if rid == id {
+			idx = i
+		}
+		if rr, ok := e.running[rid]; ok {
+			loads[i] = interference.Load{App: rr.job.App.Name, Stress: e.effectiveStress(rr)}
+		}
+	}
+	if idx == -1 {
+		panic(fmt.Sprintf("sim: job %d not resident on node %d", id, ni))
+	}
+	return e.inter.NamedRates(loads)[idx]
+}
+
+// effectiveStress returns a job's stress vector adjusted for placement
+// spread: with a topology configured, an allocation spanning several leaf
+// switches pushes more traffic through the uplinks, raising its effective
+// network demand. A job's dedicated baseline already includes its own
+// communication, so the factor only changes how much it contends when
+// sharing.
+func (e *Engine) effectiveStress(rr *runRec) app.StressVector {
+	v := rr.job.App.Stress
+	if e.topo == nil {
+		return v
+	}
+	f := e.topo.NetworkFactor(e.topo.Spread(rr.rec.NodeIDs))
+	net := v[app.Network] * f
+	if net > 1 {
+		net = 1
+	}
+	v[app.Network] = net
+	return v
+}
+
+// account integrates busy/shared node counts up to time t.
+func (e *Engine) account(t des.Time) {
+	dt := float64(t - e.lastAccount)
+	if dt < 0 {
+		panic(fmt.Sprintf("sim: accounting backwards from %v to %v", e.lastAccount, t))
+	}
+	e.busyIntegral += dt * float64(e.cl.BusyNodes())
+	e.sharedIntegral += dt * float64(e.cl.SharedNodes())
+	e.lastAccount = t
+}
+
+func (e *Engine) removeFromQueue(id cluster.JobID) {
+	for i, j := range e.queue {
+		if j.ID == id {
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("sim: started job %d not in queue", id))
+}
+
+// Kick forces a scheduling pass at the current instant, for callers that
+// changed scheduler-visible state out of band (e.g. resuming a drained
+// node).
+func (e *Engine) Kick() {
+	e.requestSchedule()
+	e.sim.Run(e.sim.Now())
+}
+
+// SetQueueOrder installs a priority comparator for the pending queue
+// (nil restores FCFS). The comparator runs on every scheduling pass, so
+// age-dependent priorities re-rank continuously.
+func (e *Engine) SetQueueOrder(less func(a, b *job.Job) bool) { e.lessFn = less }
+
+// CancelPending cancels a job that is still queued. Running or finished
+// jobs cannot be cancelled (the simulator does not model preemption).
+func (e *Engine) CancelPending(id cluster.JobID) error {
+	for i, j := range e.queue {
+		if j.ID == id {
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			j.Cancel(e.sim.Now())
+			e.failed[j.ID] = true
+			e.rejected = append(e.rejected, j)
+			e.trace("cancel %s", j)
+			e.releaseHeld()
+			return nil
+		}
+	}
+	return fmt.Errorf("sim: job %d is not pending", id)
+}
+
+// queueSnapshot returns pending jobs in scheduling order: the installed
+// priority order, or FCFS (submit time, then ID) by default.
+func (e *Engine) queueSnapshot() []*job.Job {
+	q := make([]*job.Job, len(e.queue))
+	copy(q, e.queue)
+	less := e.lessFn
+	if less == nil {
+		less = func(a, b *job.Job) bool {
+			if a.Submit != b.Submit {
+				return a.Submit < b.Submit
+			}
+			return a.ID < b.ID
+		}
+	}
+	sort.SliceStable(q, less2(q, less))
+	return q
+}
+
+func less2(q []*job.Job, less func(a, b *job.Job) bool) func(i, j int) bool {
+	return func(i, j int) bool { return less(q[i], q[j]) }
+}
+
+// runningSnapshot returns the running set ordered by job ID.
+func (e *Engine) runningSnapshot() []*sched.RunningJob {
+	out := make([]*sched.RunningJob, 0, len(e.running))
+	for _, rec := range e.running {
+		out = append(out, rec.rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Job.ID < out[j].Job.ID })
+	return out
+}
+
+// QueueLen returns the number of pending jobs.
+func (e *Engine) QueueLen() int { return len(e.queue) }
+
+// RunningLen returns the number of running jobs.
+func (e *Engine) RunningLen() int { return len(e.running) }
+
+// Finished returns the finished jobs in completion order.
+func (e *Engine) Finished() []*job.Job { return e.finished }
+
+// Rejected returns jobs rejected at submission (request exceeded machine).
+func (e *Engine) Rejected() []*job.Job { return e.rejected }
+
+// Killed returns jobs terminated at their walltime limit, in kill order.
+func (e *Engine) Killed() []*job.Job { return e.killed }
+
+// Held returns jobs that arrived but are still dependency-blocked. A
+// non-empty held set after RunAll means a dependency references a job that
+// never completed (workload bug).
+func (e *Engine) Held() []*job.Job {
+	out := make([]*job.Job, len(e.held))
+	copy(out, e.held)
+	return out
+}
+
+// PlacementRecord is the completed execution of one job: where it ran and
+// when. The engine records one per finished or killed job for timeline
+// rendering and accounting export.
+type PlacementRecord struct {
+	Job        cluster.JobID
+	Name, App  string
+	Nodes      []int
+	Start, End des.Time
+	Shared     bool
+	Outcome    job.State
+}
+
+// History returns the placement records of completed (finished or killed)
+// jobs, in completion order.
+func (e *Engine) History() []PlacementRecord {
+	out := make([]PlacementRecord, len(e.history))
+	copy(out, e.history)
+	return out
+}
+
+func (e *Engine) record(rec *runRec, outcome job.State) {
+	e.history = append(e.history, PlacementRecord{
+		Job:     rec.job.ID,
+		Name:    rec.job.Name,
+		App:     rec.job.App.Name,
+		Nodes:   append([]int(nil), rec.rec.NodeIDs...),
+		Start:   rec.job.StartTime(),
+		End:     rec.job.EndTime(),
+		Shared:  rec.job.EverShared(),
+		Outcome: outcome,
+	})
+}
+
+// Pending returns a snapshot of the queue in FCFS order.
+func (e *Engine) Pending() []*job.Job { return e.queueSnapshot() }
+
+// Running returns a snapshot of the running set ordered by job ID.
+func (e *Engine) Running() []*sched.RunningJob { return e.runningSnapshot() }
+
+// Result computes the run's metrics. Call after Run.
+func (e *Engine) Result() metrics.Result {
+	raw := metrics.Result{
+		Policy:            e.pol.Name(),
+		Submitted:         e.submitted,
+		Killed:            len(e.killed),
+		WastedNodeSeconds: e.wastedNodeSeconds,
+		Nodes:             e.cl.Size(),
+		Makespan:          e.lastEnd,
+		BusyNodeSeconds:   e.busyIntegral,
+		SharedNodeSeconds: e.sharedIntegral,
+	}
+	return metrics.Compute(raw, e.finished, e.decisionTimes)
+}
+
+func (e *Engine) trace(format string, args ...any) {
+	if e.TraceFn != nil {
+		e.TraceFn(fmt.Sprintf("[%s] %s", e.sim.Now(), fmt.Sprintf(format, args...)))
+	}
+}

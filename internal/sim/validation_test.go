@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/des"
+	"repro/internal/job"
+	"repro/internal/queueing"
+)
+
+// With single-node jobs, exponential runtimes, Poisson arrivals, and FCFS
+// over c nodes, the batch system is exactly an M/M/c queue. The simulated
+// mean wait must therefore match Erlang-C — an end-to-end validation of the
+// event kernel, placement, and metric accounting against independent theory.
+func TestValidation_MMcWaitMatchesErlangC(t *testing.T) {
+	const (
+		servers     = 8
+		meanService = 100.0
+		rho         = 0.8
+		jobCount    = 40000
+	)
+	lambda := rho * servers / meanService
+	q := queueing.MMc{Lambda: lambda, Mu: 1 / meanService, C: servers}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := q.MeanWait()
+
+	// Queue waits at ρ=0.8 are strongly autocorrelated, so single runs
+	// scatter ±20% around theory; average a few independent replications
+	// and require the mean to land within 10%.
+	var waits []float64
+	for _, seed := range []uint64{1, 2, 3} {
+		cfg := cluster.Config{Nodes: servers, CoresPerNode: 4, ThreadsPerCore: 2, MemoryPerNodeMB: 1 << 20}
+		e := New(Config{Cluster: cfg, Policy: mustPolicy(t, "fcfs")})
+		rng := des.NewRNG(seed)
+		arrivals := rng.Stream("arrivals")
+		services := rng.Stream("services")
+		now := 0.0
+		for i := 0; i < jobCount; i++ {
+			now += arrivals.Exp(1 / lambda)
+			runtime := services.Exp(meanService)
+			if runtime < 1e-3 {
+				runtime = 1e-3
+			}
+			j := &job.Job{
+				ID: cluster.JobID(i + 1), Name: "mmc", App: computeApp, Nodes: 1,
+				ReqWalltime: des.Duration(runtime), TrueRuntime: des.Duration(runtime),
+				Submit: des.Time(now),
+			}
+			if err := e.Submit(j); err != nil {
+				t.Fatal(err)
+			}
+		}
+		e.RunAll()
+		r := e.Result()
+		if r.Finished != jobCount {
+			t.Fatalf("finished %d of %d", r.Finished, jobCount)
+		}
+		waits = append(waits, r.Wait.Mean)
+	}
+	got := (waits[0] + waits[1] + waits[2]) / 3
+	if math.Abs(got-want) > 0.10*want {
+		t.Fatalf("simulated mean wait %.2fs (runs %v) deviates from Erlang-C %.2fs by more than 10%%",
+			got, waits, want)
+	}
+}
+
+// The same construction at c = 1 must match the closed-form M/M/1 wait —
+// an independent second anchor at a different utilization.
+func TestValidation_MM1WaitMatchesTheory(t *testing.T) {
+	const (
+		meanService = 50.0
+		rho         = 0.7
+		jobCount    = 40000
+	)
+	lambda := rho / meanService
+	want := queueing.MM1Wait(lambda, 1/meanService)
+
+	cfg := cluster.Config{Nodes: 1, CoresPerNode: 4, ThreadsPerCore: 2, MemoryPerNodeMB: 1 << 20}
+	e := New(Config{Cluster: cfg, Policy: mustPolicy(t, "fcfs")})
+	rng := des.NewRNG(777)
+	arrivals := rng.Stream("arrivals")
+	services := rng.Stream("services")
+	now := 0.0
+	for i := 0; i < jobCount; i++ {
+		now += arrivals.Exp(1 / lambda)
+		runtime := services.Exp(meanService)
+		if runtime < 1e-3 {
+			runtime = 1e-3
+		}
+		j := &job.Job{
+			ID: cluster.JobID(i + 1), Name: "mm1", App: membwApp, Nodes: 1,
+			ReqWalltime: des.Duration(runtime), TrueRuntime: des.Duration(runtime),
+			Submit: des.Time(now),
+		}
+		if err := e.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.RunAll()
+	got := e.Result().Wait.Mean
+	if math.Abs(got-want) > 0.10*want {
+		t.Fatalf("simulated M/M/1 wait %.2fs deviates from theory %.2fs by more than 10%%",
+			got, want)
+	}
+}

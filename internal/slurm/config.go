@@ -1,0 +1,304 @@
+// Package slurm is the SLURM-like workload-manager layer: a slurm.conf-style
+// configuration format, multifactor job priority, a controller that fields
+// interactive submissions, and a line-oriented network protocol with
+// sbatch/squeue/sinfo-style tooling on top.
+//
+// The paper implements its strategies inside the real SLURM; this package is
+// the from-scratch substitute (DESIGN.md §1): it reproduces the operational
+// surface — configuration, priorities, submission, queue introspection —
+// while time is simulated, so experiments run in milliseconds and the
+// scheduling behaviour is exactly the policies under study.
+package slurm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/des"
+	"repro/internal/sched"
+)
+
+// Config is the parsed workload-manager configuration.
+type Config struct {
+	// ClusterName labels the instance.
+	ClusterName string
+	// Machine is the node inventory.
+	Machine cluster.Config
+	// Policy is the scheduling policy registry name, mapped from
+	// SchedulerType (see schedulerTypes).
+	Policy string
+	// Share tunes the sharing policies (populated from OverSubscribe and
+	// the extension keys).
+	Share sched.ShareConfig
+	// Partition is the single partition (the evaluated systems schedule
+	// one homogeneous partition).
+	Partition Partition
+	// Priority configures the multifactor priority plugin.
+	Priority PriorityConfig
+}
+
+// Partition is a job partition with admission limits.
+type Partition struct {
+	// Name identifies the partition, e.g. "batch".
+	Name string
+	// MaxTime caps requested walltimes (0 = unlimited).
+	MaxTime des.Duration
+	// MaxNodes caps node requests (0 = machine size).
+	MaxNodes int
+}
+
+// schedulerTypes maps SLURM-style SchedulerType values to policy names.
+var schedulerTypes = map[string]string{
+	"sched/builtin":                     "fcfs",
+	"sched/firstfit":                    "firstfit",
+	"sched/backfill":                    "easy",
+	"sched/backfill_conservative":       "conservative",
+	"sched/share_firstfit":              "sharefirstfit",
+	"sched/share_backfill":              "sharebackfill",
+	"sched/share_backfill_conservative": "shareconservative",
+}
+
+// DefaultConfig returns the evaluated configuration: a 32-node Trinity-class
+// partition under co-allocation-aware backfill.
+func DefaultConfig() Config {
+	return Config{
+		ClusterName: "trinity-sim",
+		Machine:     cluster.Trinity(32),
+		Policy:      "sharebackfill",
+		Share:       sched.DefaultShareConfig(),
+		Partition:   Partition{Name: "batch"},
+		Priority:    DefaultPriorityConfig(),
+	}
+}
+
+var nodeRangeRe = regexp.MustCompile(`^([a-zA-Z_-]*)\[(\d+)-(\d+)\]$`)
+
+// ParseConfig reads a slurm.conf-style stream: '#' comments, KEY=VALUE
+// pairs, and NodeName/PartitionName lines carrying attribute lists.
+//
+// Recognized keys (unknown keys are an error so typos surface):
+//
+//	ClusterName=<string>
+//	SchedulerType=sched/{builtin,firstfit,backfill,backfill_conservative,
+//	                     share_firstfit,share_backfill,
+//	                     share_backfill_conservative}
+//	OverSubscribe=YES|NO
+//	MinComplementarity=<float>         (sharing extension)
+//	MinEstimatedRate=<float>           (sharing extension)
+//	MaxShareDegree=<int>               (sharing extension)
+//	PairingAware=YES|NO                (sharing extension)
+//	InflationAccounting=YES|NO         (sharing extension)
+//	PreferShared=YES|NO                (sharing extension)
+//	NodeName=<name|name[lo-hi]> CPUs=<int> ThreadsPerCore=<int> RealMemory=<MB>
+//	PartitionName=<name> [MaxTime=<seconds>] [MaxNodes=<int>]
+//	PriorityWeightAge=<int>
+//	PriorityWeightJobSize=<int>
+//	PriorityWeightFairshare=<int>
+//	PriorityFavorSmall=YES|NO
+//	PriorityMaxAge=<seconds>
+func ParseConfig(r io.Reader) (Config, error) {
+	cfg := DefaultConfig()
+	cfg.Machine = cluster.Config{} // must come from NodeName
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	sawNodes := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, rest, ok := strings.Cut(line, "=")
+		if !ok {
+			return Config{}, fmt.Errorf("slurm: line %d: expected KEY=VALUE, got %q", lineNo, line)
+		}
+		key = strings.TrimSpace(key)
+		var err error
+		switch key {
+		case "ClusterName":
+			cfg.ClusterName = strings.TrimSpace(rest)
+		case "SchedulerType":
+			pol, known := schedulerTypes[strings.TrimSpace(rest)]
+			if !known {
+				return Config{}, fmt.Errorf("slurm: line %d: unknown SchedulerType %q", lineNo, rest)
+			}
+			cfg.Policy = pol
+		case "OverSubscribe":
+			cfg.Share.Enabled, err = parseYesNo(rest)
+		case "MinComplementarity":
+			cfg.Share.MinComplementarity, err = strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		case "MinEstimatedRate":
+			cfg.Share.MinEstimatedRate, err = strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		case "MaxShareDegree":
+			cfg.Share.MaxDegree, err = strconv.Atoi(strings.TrimSpace(rest))
+		case "PairingAware":
+			cfg.Share.PairingAware, err = parseYesNo(rest)
+		case "InflationAccounting":
+			cfg.Share.InflationAccounting, err = parseYesNo(rest)
+		case "PreferShared":
+			cfg.Share.PreferShared, err = parseYesNo(rest)
+		case "NodeName":
+			cfg.Machine, err = parseNodeLine(rest)
+			sawNodes = err == nil
+		case "PartitionName":
+			cfg.Partition, err = parsePartitionLine(rest)
+		case "PriorityWeightAge":
+			cfg.Priority.WeightAge, err = strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		case "PriorityWeightJobSize":
+			cfg.Priority.WeightJobSize, err = strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		case "PriorityWeightFairshare":
+			cfg.Priority.WeightFairshare, err = strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		case "PriorityFavorSmall":
+			cfg.Priority.FavorSmall, err = parseYesNo(rest)
+		case "PriorityMaxAge":
+			var v float64
+			v, err = strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			cfg.Priority.MaxAge = des.Duration(v)
+		default:
+			return Config{}, fmt.Errorf("slurm: line %d: unknown key %q", lineNo, key)
+		}
+		if err != nil {
+			return Config{}, fmt.Errorf("slurm: line %d: %s: %v", lineNo, key, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Config{}, fmt.Errorf("slurm: read: %w", err)
+	}
+	if !sawNodes {
+		return Config{}, fmt.Errorf("slurm: configuration has no NodeName line")
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// Validate checks the configuration's internal consistency.
+func (c Config) Validate() error {
+	if err := c.Machine.Validate(); err != nil {
+		return err
+	}
+	if _, err := sched.New(c.Policy, c.Share); err != nil {
+		return err
+	}
+	if c.Partition.Name == "" {
+		return fmt.Errorf("slurm: partition has no name")
+	}
+	if c.Partition.MaxTime < 0 || c.Partition.MaxNodes < 0 {
+		return fmt.Errorf("slurm: negative partition limits")
+	}
+	if err := c.Priority.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func parseYesNo(s string) (bool, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "YES":
+		return true, nil
+	case "NO":
+		return false, nil
+	default:
+		return false, fmt.Errorf("want YES or NO, got %q", s)
+	}
+}
+
+// parseNodeLine parses "nid[001-032] CPUs=32 ThreadsPerCore=2
+// RealMemory=131072" into a cluster config.
+func parseNodeLine(rest string) (cluster.Config, error) {
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return cluster.Config{}, fmt.Errorf("empty NodeName line")
+	}
+	count, err := nodeCount(fields[0])
+	if err != nil {
+		return cluster.Config{}, err
+	}
+	cfg := cluster.Config{Nodes: count, ThreadsPerCore: 1}
+	cpus := 0
+	for _, f := range fields[1:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return cluster.Config{}, fmt.Errorf("bad node attribute %q", f)
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return cluster.Config{}, fmt.Errorf("node attribute %s: %v", k, err)
+		}
+		switch k {
+		case "CPUs":
+			cpus = n
+		case "ThreadsPerCore":
+			cfg.ThreadsPerCore = n
+		case "RealMemory":
+			cfg.MemoryPerNodeMB = n
+		default:
+			return cluster.Config{}, fmt.Errorf("unknown node attribute %q", k)
+		}
+	}
+	if cpus == 0 {
+		return cluster.Config{}, fmt.Errorf("NodeName line missing CPUs")
+	}
+	if cfg.ThreadsPerCore <= 0 || cpus%cfg.ThreadsPerCore != 0 {
+		return cluster.Config{}, fmt.Errorf("CPUs=%d not divisible by ThreadsPerCore=%d",
+			cpus, cfg.ThreadsPerCore)
+	}
+	// SLURM's CPUs counts hardware threads; cores = CPUs / ThreadsPerCore.
+	cfg.CoresPerNode = cpus / cfg.ThreadsPerCore
+	return cfg, nil
+}
+
+// nodeCount derives the node count from a name or bracket range:
+// "nid[001-032]" → 32, a plain name → 1.
+func nodeCount(name string) (int, error) {
+	m := nodeRangeRe.FindStringSubmatch(name)
+	if m == nil {
+		return 1, nil
+	}
+	lo, err := strconv.Atoi(m[2])
+	if err != nil {
+		return 0, err
+	}
+	hi, err := strconv.Atoi(m[3])
+	if err != nil {
+		return 0, err
+	}
+	if hi < lo {
+		return 0, fmt.Errorf("node range %q is inverted", name)
+	}
+	return hi - lo + 1, nil
+}
+
+// parsePartitionLine parses "batch MaxTime=86400 MaxNodes=16".
+func parsePartitionLine(rest string) (Partition, error) {
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return Partition{}, fmt.Errorf("empty PartitionName line")
+	}
+	p := Partition{Name: fields[0]}
+	for _, f := range fields[1:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return Partition{}, fmt.Errorf("bad partition attribute %q", f)
+		}
+		n, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return Partition{}, fmt.Errorf("partition attribute %s: %v", k, err)
+		}
+		switch k {
+		case "MaxTime":
+			p.MaxTime = des.Duration(n)
+		case "MaxNodes":
+			p.MaxNodes = int(n)
+		default:
+			return Partition{}, fmt.Errorf("unknown partition attribute %q", k)
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,276 @@
+package slurm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/job"
+	"repro/internal/metrics"
+)
+
+// Controller is the slurmctld-equivalent: it owns a batch-system instance,
+// admits interactive submissions against partition limits, orders the queue
+// by multifactor priority, and answers queue/node introspection. Time is
+// simulated; clients advance it explicitly (Advance), which is what lets a
+// whole day of batch operation replay in milliseconds.
+//
+// All methods are safe for concurrent use (the protocol server fields many
+// connections against one controller).
+type Controller struct {
+	mu  sync.Mutex
+	cfg Config
+	sys *core.System
+}
+
+// NewController builds a controller from a validated configuration.
+func NewController(cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	share := cfg.Share
+	sys, err := core.NewSystem(core.Config{
+		Machine: cfg.Machine,
+		Policy:  cfg.Policy,
+		Sharing: &share,
+	})
+	if err != nil {
+		return nil, err
+	}
+	engine := sys.Engine()
+	if cfg.Priority.WeightFairshare > 0 {
+		engine.SetQueueOrder(cfg.Priority.LessWithUsage(
+			engine.Now, cfg.Machine.Nodes, UsageFromEngine(engine)))
+	} else {
+		engine.SetQueueOrder(cfg.Priority.Less(engine.Now, cfg.Machine.Nodes))
+	}
+	return &Controller{cfg: cfg, sys: sys}, nil
+}
+
+// Config returns the controller's configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Now returns the simulated clock.
+func (c *Controller) Now() des.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sys.Now()
+}
+
+// Submit admits a job at the current simulated time. Partition limits are
+// enforced here, as slurmctld does at submission. Optional dependency IDs
+// implement sbatch --dependency=afterok.
+func (c *Controller) Submit(appName string, nodes int, wall, runtime des.Duration, name string, after ...cluster.JobID) (cluster.JobID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cfg.Partition.MaxTime > 0 && wall > c.cfg.Partition.MaxTime {
+		return cluster.NoJob, fmt.Errorf("slurm: walltime %v exceeds partition MaxTime %v",
+			wall, c.cfg.Partition.MaxTime)
+	}
+	maxNodes := c.cfg.Partition.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = c.cfg.Machine.Nodes
+	}
+	if nodes > maxNodes {
+		return cluster.NoJob, fmt.Errorf("slurm: %d nodes exceeds partition MaxNodes %d",
+			nodes, maxNodes)
+	}
+	id, err := c.sys.Submit(core.JobSpec{
+		App: appName, Nodes: nodes, Walltime: wall, Runtime: runtime, Name: name,
+		After: after,
+	})
+	if err != nil {
+		return cluster.NoJob, err
+	}
+	// Flush the arrival event so the job is immediately visible in squeue
+	// (and can start right away if resources are free).
+	c.sys.RunUntil(c.sys.Now())
+	return id, nil
+}
+
+// Cancel cancels a pending job.
+func (c *Controller) Cancel(id cluster.JobID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sys.Engine().CancelPending(id)
+}
+
+// Advance moves the simulated clock forward by d, executing every event in
+// the window.
+func (c *Controller) Advance(d des.Duration) des.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d < 0 {
+		return c.sys.Now()
+	}
+	c.sys.RunUntil(c.sys.Now() + d)
+	return c.sys.Now()
+}
+
+// Drain runs the simulation until all submitted work completes.
+func (c *Controller) Drain() des.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sys.Run()
+	return c.sys.Now()
+}
+
+// Stats computes the evaluation metrics for the work so far.
+func (c *Controller) Stats() metrics.Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sys.Metrics()
+}
+
+// DrainNode removes a node from scheduling (running jobs finish in place;
+// no new work lands) — scontrol update State=DRAIN.
+func (c *Controller) DrainNode(ni int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cl := c.sys.Cluster()
+	if ni < 0 || ni >= cl.Size() {
+		return fmt.Errorf("slurm: node %d out of range (cluster has %d nodes)", ni, cl.Size())
+	}
+	cl.SetDrained(ni, true)
+	return nil
+}
+
+// ResumeNode returns a drained node to service and kicks the scheduler so
+// waiting work can use it immediately.
+func (c *Controller) ResumeNode(ni int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cl := c.sys.Cluster()
+	if ni < 0 || ni >= cl.Size() {
+		return fmt.Errorf("slurm: node %d out of range (cluster has %d nodes)", ni, cl.Size())
+	}
+	cl.SetDrained(ni, false)
+	c.sys.Engine().Kick()
+	return nil
+}
+
+// JobInfo is one squeue row.
+type JobInfo struct {
+	ID       int64   `json:"id"`
+	Name     string  `json:"name"`
+	App      string  `json:"app"`
+	State    string  `json:"state"`
+	Nodes    int     `json:"nodes"`
+	Submit   float64 `json:"submit"`
+	Start    float64 `json:"start,omitempty"`
+	End      float64 `json:"end,omitempty"`
+	Limit    float64 `json:"limit"`
+	NodeList []int   `json:"nodelist,omitempty"`
+	Shared   bool    `json:"shared,omitempty"`
+	Priority float64 `json:"priority"`
+	// Reason explains why a pending job is not running ("Dependency" for
+	// dependency-held jobs), mirroring squeue's REASON column.
+	Reason string `json:"reason,omitempty"`
+}
+
+// Queue returns pending and running jobs, running first (like squeue's
+// default sort), pending in priority order.
+func (c *Controller) Queue() []JobInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.sys.Now()
+	var out []JobInfo
+	for _, r := range c.sys.Running() {
+		out = append(out, JobInfo{
+			ID: int64(r.Job.ID), Name: r.Job.Name, App: r.Job.App.Name,
+			State: r.Job.State().String(), Nodes: r.Job.Nodes,
+			Submit: float64(r.Job.Submit), Start: float64(r.Job.StartTime()),
+			Limit: float64(r.Job.ReqWalltime), NodeList: r.NodeIDs,
+			Shared:   !r.Exclusive,
+			Priority: c.cfg.Priority.Priority(r.Job, now, c.cfg.Machine.Nodes),
+		})
+	}
+	for _, j := range c.sys.Pending() {
+		out = append(out, JobInfo{
+			ID: int64(j.ID), Name: j.Name, App: j.App.Name,
+			State: j.State().String(), Nodes: j.Nodes,
+			Submit: float64(j.Submit), Limit: float64(j.ReqWalltime),
+			Priority: c.cfg.Priority.Priority(j, now, c.cfg.Machine.Nodes),
+		})
+	}
+	for _, j := range c.sys.Held() {
+		out = append(out, JobInfo{
+			ID: int64(j.ID), Name: j.Name, App: j.App.Name,
+			State: j.State().String(), Nodes: j.Nodes,
+			Submit: float64(j.Submit), Limit: float64(j.ReqWalltime),
+			Reason: "Dependency",
+		})
+	}
+	return out
+}
+
+// History returns finished and cancelled jobs (sacct-like).
+func (c *Controller) History() []JobInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []JobInfo
+	add := func(j *job.Job) {
+		info := JobInfo{
+			ID: int64(j.ID), Name: j.Name, App: j.App.Name,
+			State: j.State().String(), Nodes: j.Nodes,
+			Submit: float64(j.Submit), Limit: float64(j.ReqWalltime),
+			End: float64(j.EndTime()),
+		}
+		if j.State() == job.Finished {
+			info.Start = float64(j.StartTime())
+			info.Shared = j.EverShared()
+		}
+		out = append(out, info)
+	}
+	for _, j := range c.sys.Finished() {
+		add(j)
+	}
+	for _, j := range c.sys.Engine().Rejected() {
+		add(j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// NodeInfo is one sinfo row.
+type NodeInfo struct {
+	ID          int     `json:"id"`
+	State       string  `json:"state"` // idle | allocated | shared
+	Jobs        []int64 `json:"jobs,omitempty"`
+	FreeThreads int     `json:"free_threads"`
+	FreeMemMB   int     `json:"free_mem_mb"`
+}
+
+// Nodes returns per-node allocation state.
+func (c *Controller) Nodes() []NodeInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cl := c.sys.Cluster()
+	out := make([]NodeInfo, 0, cl.Size())
+	for i := 0; i < cl.Size(); i++ {
+		n := cl.Node(i)
+		state := "idle"
+		switch {
+		case n.Drained() && n.Idle():
+			state = "drained"
+		case n.Drained():
+			state = "draining"
+		case n.SharingDegree() >= 2:
+			state = "shared"
+		case !n.Idle():
+			state = "allocated"
+		}
+		var jobs []int64
+		for _, id := range n.Jobs() {
+			jobs = append(jobs, int64(id))
+		}
+		out = append(out, NodeInfo{
+			ID: i, State: state, Jobs: jobs,
+			FreeThreads: n.FreeThreads(), FreeMemMB: n.MemFreeMB(),
+		})
+	}
+	return out
+}

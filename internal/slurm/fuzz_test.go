@@ -1,0 +1,33 @@
+package slurm
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseConfig drives the slurm.conf parser with arbitrary input: it
+// must never panic, and any configuration it accepts must validate and be
+// able to boot a controller.
+func FuzzParseConfig(f *testing.F) {
+	f.Add(sampleConf)
+	f.Add("NodeName=n[1-4] CPUs=8 ThreadsPerCore=2 RealMemory=1024\n")
+	f.Add("# only a comment\n")
+	f.Add("ClusterName=x\nNodeName=n CPUs=2 ThreadsPerCore=1 RealMemory=64\n")
+	f.Add("NodeName=n[001-999] CPUs=64 ThreadsPerCore=2 RealMemory=131072\nOverSubscribe=YES\n")
+	f.Add("=")
+	f.Fuzz(func(t *testing.T, input string) {
+		cfg, err := ParseConfig(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("accepted config fails validation: %v", err)
+		}
+		// Keep the fuzz cheap: only boot plausibly-sized machines.
+		if cfg.Machine.Nodes <= 1024 && cfg.Machine.CoresPerNode <= 256 {
+			if _, err := NewController(cfg); err != nil {
+				t.Fatalf("accepted config cannot boot a controller: %v", err)
+			}
+		}
+	})
+}

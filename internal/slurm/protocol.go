@@ -1,0 +1,308 @@
+package slurm
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/des"
+	"repro/internal/metrics"
+)
+
+// The wire protocol is JSON lines over TCP: one Request per line from the
+// client, one Response per line from the server. It is deliberately simple —
+// the goal is the operational shape of a workload manager (remote
+// submission, queue introspection, separate tooling processes), not RPC
+// sophistication.
+
+// Request is one client command.
+type Request struct {
+	// Op selects the operation: submit, cancel, queue, nodes, advance,
+	// drain, stats, now, config.
+	Op string `json:"op"`
+	// Submit arguments.
+	App      string  `json:"app,omitempty"`
+	Nodes    int     `json:"nodes,omitempty"`
+	Walltime float64 `json:"walltime,omitempty"`
+	Runtime  float64 `json:"runtime,omitempty"`
+	Name     string  `json:"name,omitempty"`
+	// Cancel argument.
+	ID int64 `json:"id,omitempty"`
+	// Advance argument.
+	Seconds float64 `json:"seconds,omitempty"`
+	// Node argument for drain_node / resume_node.
+	Node int `json:"node,omitempty"`
+	// After lists dependency job IDs for submit.
+	After []int64 `json:"after,omitempty"`
+	// Queue argument: include finished jobs.
+	History bool `json:"history,omitempty"`
+}
+
+// Response is one server reply.
+type Response struct {
+	OK    bool    `json:"ok"`
+	Error string  `json:"error,omitempty"`
+	Now   float64 `json:"now"`
+	// Operation-specific payloads.
+	ID      int64           `json:"id,omitempty"`
+	Jobs    []JobInfo       `json:"jobs,omitempty"`
+	Nodes   []NodeInfo      `json:"nodes,omitempty"`
+	Stats   *metrics.Result `json:"stats,omitempty"`
+	Cluster string          `json:"cluster,omitempty"`
+	Policy  string          `json:"policy,omitempty"`
+}
+
+// Server serves the protocol for one controller.
+type Server struct {
+	ctl *Controller
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]bool
+	closed   bool
+}
+
+// NewServer wraps a controller.
+func NewServer(ctl *Controller) *Server {
+	return &Server{ctl: ctl, conns: make(map[net.Conn]bool)}
+}
+
+// Listen starts accepting on addr ("host:port"; ":0" picks a free port) and
+// returns the bound address. Serving happens on background goroutines until
+// Close.
+func (s *Server) Listen(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("slurm: listen: %w", err)
+	}
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	go s.acceptLoop(l)
+	return l.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(l net.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	enc := json.NewEncoder(conn)
+	for sc.Scan() {
+		var req Request
+		var resp Response
+		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			resp = Response{Error: fmt.Sprintf("bad request: %v", err)}
+		} else {
+			resp = s.handle(req)
+		}
+		resp.Now = float64(s.ctl.Now())
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req Request) Response {
+	switch req.Op {
+	case "submit":
+		after := make([]cluster.JobID, len(req.After))
+		for i, a := range req.After {
+			after[i] = cluster.JobID(a)
+		}
+		id, err := s.ctl.Submit(req.App, req.Nodes,
+			des.Duration(req.Walltime), des.Duration(req.Runtime), req.Name, after...)
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		return Response{OK: true, ID: int64(id)}
+	case "cancel":
+		if err := s.ctl.Cancel(cluster.JobID(req.ID)); err != nil {
+			return Response{Error: err.Error()}
+		}
+		return Response{OK: true, ID: req.ID}
+	case "queue":
+		jobs := s.ctl.Queue()
+		if req.History {
+			jobs = append(jobs, s.ctl.History()...)
+		}
+		return Response{OK: true, Jobs: jobs}
+	case "nodes":
+		return Response{OK: true, Nodes: s.ctl.Nodes()}
+	case "drain_node":
+		if err := s.ctl.DrainNode(req.Node); err != nil {
+			return Response{Error: err.Error()}
+		}
+		return Response{OK: true}
+	case "resume_node":
+		if err := s.ctl.ResumeNode(req.Node); err != nil {
+			return Response{Error: err.Error()}
+		}
+		return Response{OK: true}
+	case "advance":
+		s.ctl.Advance(des.Duration(req.Seconds))
+		return Response{OK: true}
+	case "drain":
+		s.ctl.Drain()
+		return Response{OK: true}
+	case "stats":
+		st := s.ctl.Stats()
+		return Response{OK: true, Stats: &st}
+	case "now":
+		return Response{OK: true}
+	case "config":
+		cfg := s.ctl.Config()
+		return Response{OK: true, Cluster: cfg.ClusterName, Policy: cfg.Policy}
+	default:
+		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// Close stops the listener and open connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+}
+
+// Client is a protocol client (the sbatch/squeue/sinfo tooling).
+type Client struct {
+	conn net.Conn
+	sc   *bufio.Scanner
+	enc  *json.Encoder
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("slurm: dial %s: %w", addr, err)
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return &Client{conn: conn, sc: sc, enc: json.NewEncoder(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Do sends one request and reads one response.
+func (c *Client) Do(req Request) (Response, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, fmt.Errorf("slurm: send: %w", err)
+	}
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return Response{}, fmt.Errorf("slurm: receive: %w", err)
+		}
+		return Response{}, io.ErrUnexpectedEOF
+	}
+	var resp Response
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		return Response{}, fmt.Errorf("slurm: decode: %w", err)
+	}
+	if resp.Error != "" {
+		return resp, fmt.Errorf("slurm: server: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Submit submits a job and returns its ID. Optional dependency IDs
+// implement sbatch --dependency=afterok.
+func (c *Client) Submit(app string, nodes int, wall, runtime des.Duration, name string, after ...int64) (int64, error) {
+	resp, err := c.Do(Request{Op: "submit", App: app, Nodes: nodes,
+		Walltime: float64(wall), Runtime: float64(runtime), Name: name, After: after})
+	return resp.ID, err
+}
+
+// Cancel cancels a pending job.
+func (c *Client) Cancel(id int64) error {
+	_, err := c.Do(Request{Op: "cancel", ID: id})
+	return err
+}
+
+// Queue lists pending and running jobs (plus history when asked).
+func (c *Client) Queue(history bool) ([]JobInfo, error) {
+	resp, err := c.Do(Request{Op: "queue", History: history})
+	return resp.Jobs, err
+}
+
+// Nodes lists node states.
+func (c *Client) Nodes() ([]NodeInfo, error) {
+	resp, err := c.Do(Request{Op: "nodes"})
+	return resp.Nodes, err
+}
+
+// Advance moves simulated time forward and returns the new clock.
+func (c *Client) Advance(d des.Duration) (des.Time, error) {
+	resp, err := c.Do(Request{Op: "advance", Seconds: float64(d)})
+	return des.Time(resp.Now), err
+}
+
+// Drain runs the simulation until all work completes.
+func (c *Client) Drain() (des.Time, error) {
+	resp, err := c.Do(Request{Op: "drain"})
+	return des.Time(resp.Now), err
+}
+
+// Stats fetches the run metrics.
+func (c *Client) Stats() (metrics.Result, error) {
+	resp, err := c.Do(Request{Op: "stats"})
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	if resp.Stats == nil {
+		return metrics.Result{}, fmt.Errorf("slurm: stats response without payload")
+	}
+	return *resp.Stats, nil
+}
+
+// Info fetches cluster name and policy.
+func (c *Client) Info() (clusterName, policy string, err error) {
+	resp, err := c.Do(Request{Op: "config"})
+	return resp.Cluster, resp.Policy, err
+}
+
+// DrainNode removes a node from scheduling.
+func (c *Client) DrainNode(ni int) error {
+	_, err := c.Do(Request{Op: "drain_node", Node: ni})
+	return err
+}
+
+// ResumeNode returns a drained node to service.
+func (c *Client) ResumeNode(ni int) error {
+	_, err := c.Do(Request{Op: "resume_node", Node: ni})
+	return err
+}

@@ -1,0 +1,33 @@
+package slurm
+
+import (
+	"repro/internal/sim"
+)
+
+// UsageFromEngine returns a UsageFn that computes each user's share of the
+// delivered node-seconds among finished jobs. The shares are recomputed only
+// when the finished count changes, so calling it from a sort comparator is
+// cheap.
+func UsageFromEngine(e *sim.Engine) UsageFn {
+	cachedCount := -1
+	var shares map[string]float64
+	return func(user string) float64 {
+		finished := e.Finished()
+		if len(finished) != cachedCount {
+			shares = make(map[string]float64)
+			total := 0.0
+			for _, j := range finished {
+				w := j.ServiceDemand()
+				shares[j.User] += w
+				total += w
+			}
+			if total > 0 {
+				for k := range shares {
+					shares[k] /= total
+				}
+			}
+			cachedCount = len(finished)
+		}
+		return shares[user]
+	}
+}

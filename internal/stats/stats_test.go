@@ -1,0 +1,208 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if !almost(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Fatal("Mean wrong")
+	}
+}
+
+func TestVarianceAndStddev(t *testing.T) {
+	if Variance([]float64{5}) != 0 {
+		t.Fatal("Variance of single sample != 0")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !almost(Variance(xs), 32.0/7.0) {
+		t.Fatalf("Variance = %g", Variance(xs))
+	}
+	if !almost(Stddev(xs), math.Sqrt(32.0/7.0)) {
+		t.Fatalf("Stddev = %g", Stddev(xs))
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2} // unsorted on purpose
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 4}, {50, 2.5}, {25, 1.75},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almost(got, c.want) {
+			t.Errorf("Percentile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if got := Percentile([]float64{7}, 50); got != 7 {
+		t.Fatalf("single-sample percentile = %g", got)
+	}
+	if got := Median([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Median = %g", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"empty":    func() { Percentile(nil, 50) },
+		"negative": func() { Percentile([]float64{1}, -1) },
+		"over100":  func() { Percentile([]float64{1}, 101) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCI95(t *testing.T) {
+	if CI95([]float64{1}) != 0 {
+		t.Fatal("CI95 of one sample != 0")
+	}
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i % 2) // alternating 0/1, stddev ≈ 0.5025
+	}
+	ci := CI95(xs)
+	want := 1.96 * Stddev(xs) / 10
+	if !almost(ci, want) {
+		t.Fatalf("CI95 = %g, want %g", ci, want)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatal("Summarize(nil) not zero")
+	}
+	xs := []float64{5, 1, 3, 2, 4}
+	s := Summarize(xs)
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || !almost(s.Mean, 3) || !almost(s.P50, 3) {
+		t.Fatalf("Summary = %+v", s)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0.1, 0.2, 0.5, 0.9, -1, 2}
+	h := Histogram(xs, 2, 0, 1)
+	// Bucket 0: 0.1, 0.2, -1 (clamped); bucket 1: 0.5, 0.9, 2 (clamped).
+	if h[0] != 3 || h[1] != 3 {
+		t.Fatalf("Histogram = %v", h)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Histogram(0 buckets) did not panic")
+			}
+		}()
+		Histogram(xs, 0, 0, 1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Histogram bad range did not panic")
+			}
+		}()
+		Histogram(xs, 2, 1, 1)
+	}()
+}
+
+func TestLinearFit(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9} // y = 2x + 1
+	slope, intercept := LinearFit(x, y)
+	if !almost(slope, 2) || !almost(intercept, 1) {
+		t.Fatalf("fit = %g, %g", slope, intercept)
+	}
+	// Degenerate x: slope 0, intercept mean(y).
+	slope, intercept = LinearFit([]float64{2, 2}, []float64{1, 3})
+	if slope != 0 || !almost(intercept, 2) {
+		t.Fatalf("degenerate fit = %g, %g", slope, intercept)
+	}
+}
+
+func TestLinearFitPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"mismatch": func() { LinearFit([]float64{1}, []float64{1, 2}) },
+		"short":    func() { LinearFit([]float64{1}, []float64{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRelChange(t *testing.T) {
+	if !almost(RelChange(100, 119), 0.19) {
+		t.Fatal("RelChange wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RelChange(0, x) did not panic")
+		}
+	}()
+	RelChange(0, 1)
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestProperty_PercentileMonotone(t *testing.T) {
+	f := func(raw []uint16, p1, p2 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		a, b := float64(p1%101), float64(p2%101)
+		if a > b {
+			a, b = b, a
+		}
+		pa, pb := Percentile(xs, a), Percentile(xs, b)
+		s := Summarize(xs)
+		return pa <= pb+1e-9 && pa >= s.Min-1e-9 && pb <= s.Max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mean lies within [min, max].
+func TestProperty_MeanBounded(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		s := Summarize(xs)
+		return s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,36 @@
+package swf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the SWF parser with arbitrary input: it must never
+// panic, and anything it accepts must survive a write/parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add(sample)
+	f.Add("; header only\n")
+	f.Add("1 0 10 3600 64 -1 -1 64 7200 -1 1 5 2 7 1 1 -1 -1\n")
+	f.Add("1 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0\n")
+	f.Add("")
+	f.Add("x y z\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Fatalf("accepted trace failed to serialize: %v", err)
+		}
+		tr2, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("serialized trace failed to reparse: %v", err)
+		}
+		if len(tr2.Records) != len(tr.Records) {
+			t.Fatalf("round trip changed record count %d → %d",
+				len(tr.Records), len(tr2.Records))
+		}
+	})
+}

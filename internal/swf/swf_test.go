@@ -1,0 +1,313 @@
+package swf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/job"
+)
+
+const sample = `; Version: 2.2
+; Computer: Test Machine
+; MaxJobs: 3
+
+1 0 10 3600 64 -1 -1 64 7200 -1 1 5 2 7 1 1 -1 -1
+2 30 -1 1800 32 -1 -1 32 3600 -1 1 5 2 3 1 1 -1 -1
+
+3 60 5 -1 16 -1 -1 16 1200 -1 0 6 2 9 1 1 -1 -1
+`
+
+func TestParse(t *testing.T) {
+	tr, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Header.Comments) != 3 {
+		t.Fatalf("comments = %d, want 3", len(tr.Header.Comments))
+	}
+	if len(tr.Records) != 3 {
+		t.Fatalf("records = %d, want 3", len(tr.Records))
+	}
+	r := tr.Records[0]
+	if r.JobNumber != 1 || r.SubmitTime != 0 || r.RunTime != 3600 ||
+		r.UsedProcs != 64 || r.ReqTime != 7200 || r.Status != 1 || r.ExecutableID != 7 {
+		t.Fatalf("record 0 = %+v", r)
+	}
+	if tr.Records[1].WaitTime != -1 {
+		t.Fatal("missing-value -1 not preserved")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"short line":  "1 2 3\n",
+		"bad number":  strings.Repeat("x ", 18) + "\n",
+		"extra field": "1 0 0 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 99\n",
+	}
+	for name, input := range cases {
+		if _, err := Parse(strings.NewReader(input)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("reparse: %v\noutput:\n%s", err, buf.String())
+	}
+	if len(tr2.Records) != len(tr.Records) {
+		t.Fatalf("round trip lost records: %d vs %d", len(tr2.Records), len(tr.Records))
+	}
+	for i := range tr.Records {
+		if tr.Records[i] != tr2.Records[i] {
+			t.Fatalf("record %d changed:\n  in:  %+v\n  out: %+v", i, tr.Records[i], tr2.Records[i])
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := &Trace{Records: []Record{
+		{JobNumber: 1, SubmitTime: 0, ReqProcs: 4},
+		{JobNumber: 2, SubmitTime: 5, UsedProcs: 2, ReqProcs: -1},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	bad := []*Trace{
+		{Records: []Record{{SubmitTime: -1, ReqProcs: 1}}},
+		{Records: []Record{{SubmitTime: 5, ReqProcs: 1}, {SubmitTime: 1, ReqProcs: 1}}},
+		{Records: []Record{{SubmitTime: 0, ReqProcs: -1, UsedProcs: -1}}},
+	}
+	for i, tr := range bad {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("bad trace %d accepted", i)
+		}
+	}
+}
+
+func TestToJobs(t *testing.T) {
+	tr, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cluster.Config{Nodes: 4, CoresPerNode: 32, ThreadsPerCore: 2, MemoryPerNodeMB: 64 << 10}
+	jobs, err := ToJobs(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record 3 has status 0 (failed) and run time -1 → skipped.
+	if len(jobs) != 2 {
+		t.Fatalf("converted %d jobs, want 2", len(jobs))
+	}
+	j := jobs[0]
+	if j.Nodes != 2 { // 64 procs / 32 cores
+		t.Fatalf("job nodes = %d, want 2", j.Nodes)
+	}
+	if float64(j.TrueRuntime) != 3600 || float64(j.ReqWalltime) != 7200 {
+		t.Fatalf("runtime/request = %v/%v", j.TrueRuntime, j.ReqWalltime)
+	}
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			t.Fatalf("converted job invalid: %v", err)
+		}
+	}
+}
+
+func TestToJobsClampsToMachine(t *testing.T) {
+	tr := &Trace{Records: []Record{
+		{JobNumber: 1, SubmitTime: 0, RunTime: 100, ReqTime: 100, ReqProcs: 10000, Status: 1},
+	}}
+	cfg := cluster.Config{Nodes: 4, CoresPerNode: 32, ThreadsPerCore: 2, MemoryPerNodeMB: 1024}
+	jobs, err := ToJobs(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs[0].Nodes != 4 {
+		t.Fatalf("nodes = %d, want clamped to 4", jobs[0].Nodes)
+	}
+}
+
+func TestToJobsReqTimeFallback(t *testing.T) {
+	tr := &Trace{Records: []Record{
+		{JobNumber: 1, SubmitTime: 0, RunTime: 500, ReqTime: -1, ReqProcs: 32, Status: 1},
+	}}
+	cfg := cluster.Config{Nodes: 4, CoresPerNode: 32, ThreadsPerCore: 2, MemoryPerNodeMB: 1024}
+	jobs, err := ToJobs(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(jobs[0].ReqWalltime) != 500 {
+		t.Fatalf("request fallback = %v, want 500", jobs[0].ReqWalltime)
+	}
+}
+
+func TestToJobsStableAppAssignment(t *testing.T) {
+	tr := &Trace{Records: []Record{
+		{JobNumber: 1, SubmitTime: 0, RunTime: 100, ReqTime: 100, ReqProcs: 32, Status: 1, ExecutableID: 7, UserID: 3},
+		{JobNumber: 2, SubmitTime: 1, RunTime: 100, ReqTime: 100, ReqProcs: 32, Status: 1, ExecutableID: 7, UserID: 3},
+		{JobNumber: 3, SubmitTime: 2, RunTime: 100, ReqTime: 100, ReqProcs: 32, Status: 1, ExecutableID: 9, UserID: 4},
+	}}
+	cfg := cluster.Config{Nodes: 4, CoresPerNode: 32, ThreadsPerCore: 2, MemoryPerNodeMB: 1 << 20}
+	jobs, err := ToJobs(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs[0].App.Name != jobs[1].App.Name {
+		t.Fatal("same executable mapped to different apps")
+	}
+}
+
+func TestFromJobsRoundTrip(t *testing.T) {
+	cfg := cluster.Config{Nodes: 8, CoresPerNode: 16, ThreadsPerCore: 2, MemoryPerNodeMB: 64 << 10}
+	tr := &Trace{Records: []Record{
+		{JobNumber: 1, SubmitTime: 10, RunTime: 300, ReqTime: 600, ReqProcs: 32, Status: 1},
+	}}
+	jobs, err := ToJobs(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FromJobs(jobs, cfg)
+	if len(out.Records) != 1 {
+		t.Fatalf("exported %d records", len(out.Records))
+	}
+	r := out.Records[0]
+	if r.SubmitTime != 10 || r.ReqTime != 600 || r.ReqProcs != 32 {
+		t.Fatalf("exported record = %+v", r)
+	}
+	// A pending job exports its service demand as the trace runtime (so a
+	// generated workload survives an export/replay round trip) with the
+	// wait still unknown.
+	if r.WaitTime != -1 || r.RunTime != 300 || r.Status != 1 {
+		t.Fatalf("pending job export = %+v", r)
+	}
+	// Finish the job and re-export.
+	jobs[0].Start(50)
+	jobs[0].Finish(350)
+	r2 := FromJobs(jobs, cfg).Records[0]
+	if r2.WaitTime != 40 || r2.RunTime != 300 || r2.Status != 1 {
+		t.Fatalf("finished export = %+v", r2)
+	}
+	_ = job.Finished // document intent; state constants exercised above
+}
+
+// Property: Write ∘ Parse is the identity on parsed traces (round-trip
+// stability, DESIGN.md §6).
+func TestProperty_RoundTrip(t *testing.T) {
+	f := func(recs []struct {
+		Submit uint16
+		Run    uint16
+		Procs  uint8
+	}) bool {
+		tr := &Trace{}
+		last := 0.0
+		for i, r := range recs {
+			sub := last + float64(r.Submit%1000)
+			last = sub
+			tr.Records = append(tr.Records, Record{
+				JobNumber: i + 1, SubmitTime: sub,
+				WaitTime: -1, RunTime: float64(r.Run),
+				UsedProcs: int(r.Procs) + 1, ReqProcs: int(r.Procs) + 1,
+				AvgCPUTime: -1, UsedMemoryKB: -1, ReqTime: float64(r.Run) * 2,
+				ReqMemoryKB: -1, Status: 1, UserID: -1, GroupID: -1,
+				ExecutableID: i, QueueNumber: -1, PartitionID: -1,
+				PrecedingJob: -1, ThinkTimeAfter: -1,
+			})
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			return false
+		}
+		tr2, err := Parse(&buf)
+		if err != nil {
+			return false
+		}
+		if len(tr2.Records) != len(tr.Records) {
+			return false
+		}
+		for i := range tr.Records {
+			if tr.Records[i] != tr2.Records[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToJobsDependencies(t *testing.T) {
+	tr := &Trace{Records: []Record{
+		{JobNumber: 10, SubmitTime: 0, RunTime: 100, ReqTime: 100, ReqProcs: 32, Status: 1, PrecedingJob: -1},
+		{JobNumber: 11, SubmitTime: 1, RunTime: 100, ReqTime: 100, ReqProcs: 32, Status: 1, PrecedingJob: 10},
+		{JobNumber: 12, SubmitTime: 2, RunTime: 100, ReqTime: 100, ReqProcs: 32, Status: 1, PrecedingJob: 99}, // unknown
+	}}
+	cfg := cluster.Config{Nodes: 4, CoresPerNode: 32, ThreadsPerCore: 2, MemoryPerNodeMB: 1 << 20}
+	jobs, err := ToJobs(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs[0].After) != 0 {
+		t.Fatalf("job 0 has deps: %v", jobs[0].After)
+	}
+	if len(jobs[1].After) != 1 || jobs[1].After[0] != jobs[0].ID {
+		t.Fatalf("job 1 deps = %v, want [%d]", jobs[1].After, jobs[0].ID)
+	}
+	// Unknown predecessors are dropped rather than fabricated.
+	if len(jobs[2].After) != 0 {
+		t.Fatalf("job 2 deps = %v", jobs[2].After)
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	tr := &Trace{Records: []Record{
+		{JobNumber: 1, SubmitTime: 0, RunTime: 100, ReqTime: 200, ReqProcs: 4, Status: 1, UserID: 1},
+		{JobNumber: 2, SubmitTime: 50, RunTime: 300, ReqTime: 300, ReqProcs: 8, Status: 1, UserID: 2, PrecedingJob: 1},
+		{JobNumber: 3, SubmitTime: 60, RunTime: -1, ReqProcs: 2, Status: 0, UserID: 1}, // unusable
+	}}
+	s := Analyze(tr)
+	if s.Records != 3 || s.Usable != 2 {
+		t.Fatalf("records/usable = %d/%d", s.Records, s.Usable)
+	}
+	if s.Users != 2 || s.WithDependencies != 1 {
+		t.Fatalf("users/deps = %d/%d", s.Users, s.WithDependencies)
+	}
+	if s.Procs.Mean != 6 {
+		t.Fatalf("procs mean = %g", s.Procs.Mean)
+	}
+	if s.SpanSeconds != 50 {
+		t.Fatalf("span = %g", s.SpanSeconds)
+	}
+	// Accuracy: 200/100=2 and 300/300=1 → mean 1.5.
+	if s.Accuracy.Mean != 1.5 {
+		t.Fatalf("accuracy mean = %g", s.Accuracy.Mean)
+	}
+	tbl := s.Render()
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rendered rows = %d", len(tbl.Rows))
+	}
+	counts := PerUserCounts(tr)
+	if len(counts) != 2 || counts[0].Count != 1 {
+		t.Fatalf("per-user counts = %+v", counts)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	s := Analyze(&Trace{})
+	if s.Usable != 0 || s.SpanSeconds != 0 {
+		t.Fatalf("empty trace stats = %+v", s)
+	}
+	s.Render() // must not panic
+}
