@@ -169,6 +169,11 @@ func BenchmarkFigureF11SchedInterval(b *testing.B) {
 	runExperiment(b, "F11", "", "", "")
 }
 
+func BenchmarkFigureF12Resilience(b *testing.B) {
+	// Goodput of sharing under a 6-hour per-node MTBF with job crashes.
+	runExperiment(b, "F12", "sharebackfill/6h", "goodput", "goodput")
+}
+
 func BenchmarkTableT4PerApp(b *testing.B) {
 	runExperiment(b, "T4", "", "", "")
 }

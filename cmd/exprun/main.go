@@ -29,6 +29,9 @@ func main() {
 	nodes := flag.Int("nodes", 32, "machine size in nodes")
 	jobs := flag.Int("jobs", 300, "jobs per run")
 	scale := flag.Float64("scale", 0.05, "application runtime scale (1 = full-length runs)")
+	mttr := flag.Float64("fault-mttr", 900, "F12: per-node mean time to repair in seconds")
+	shape := flag.Float64("fault-shape", 1, "F12: Weibull shape of time-to-failure (1 = exponential)")
+	crashProb := flag.Float64("fault-crashprob", 0.02, "F12: per-attempt job crash probability")
 	flag.Parse()
 
 	if *list {
@@ -39,9 +42,12 @@ func main() {
 	}
 
 	opts := exp.Options{
-		Nodes:        *nodes,
-		Jobs:         *jobs,
-		RuntimeScale: *scale,
+		Nodes:          *nodes,
+		Jobs:           *jobs,
+		RuntimeScale:   *scale,
+		FaultMTTR:      *mttr,
+		FaultShape:     *shape,
+		FaultCrashProb: *crashProb,
 	}
 	for s := 0; s < *seeds; s++ {
 		opts.Seeds = append(opts.Seeds, uint64(42+s))

@@ -5,13 +5,19 @@
 //
 // Usage:
 //
-//	mini-slurm serve -conf slurm.conf -addr 127.0.0.1:6818 &
+//	mini-slurm serve -conf slurm.conf -addr 127.0.0.1:6818 -state /var/spool/mini-slurm &
 //	mini-slurm sbatch -addr 127.0.0.1:6818 -app minife -nodes 4 -time 7200
 //	mini-slurm squeue -addr 127.0.0.1:6818
 //	mini-slurm sinfo  -addr 127.0.0.1:6818
 //	mini-slurm advance -addr 127.0.0.1:6818 -seconds 3600
 //	mini-slurm scancel -addr 127.0.0.1:6818 -id 3
+//	mini-slurm scontrol -addr 127.0.0.1:6818 -down 5        # then -up 5
+//	mini-slurm scontrol -addr 127.0.0.1:6818 -requeue 3
 //	mini-slurm stats  -addr 127.0.0.1:6818
+//
+// With -state, every accepted operation is appended to a write-ahead journal
+// before it is acknowledged; restarting with the same directory replays the
+// journal and resumes from the identical queue, node, and clock state.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/des"
 	"repro/internal/slurm"
@@ -73,6 +80,9 @@ func scontrol(args []string) error {
 	fs := flag.NewFlagSet("scontrol", flag.ExitOnError)
 	drainNode := fs.Int("drain", -1, "node ID to drain")
 	resumeNode := fs.Int("resume", -1, "node ID to resume")
+	downNode := fs.Int("down", -1, "node ID to force down (kills and requeues resident jobs)")
+	upNode := fs.Int("up", -1, "node ID to return to service")
+	requeueID := fs.Int64("requeue", 0, "job ID to kill and requeue")
 	cl, _, err := dial(fs, args)
 	if err != nil {
 		return err
@@ -89,8 +99,23 @@ func scontrol(args []string) error {
 			return err
 		}
 		fmt.Printf("node %d resumed\n", *resumeNode)
+	case *downNode >= 0:
+		if err := cl.DownNode(*downNode); err != nil {
+			return err
+		}
+		fmt.Printf("node %d down\n", *downNode)
+	case *upNode >= 0:
+		if err := cl.UpNode(*upNode); err != nil {
+			return err
+		}
+		fmt.Printf("node %d up\n", *upNode)
+	case *requeueID != 0:
+		if err := cl.Requeue(*requeueID); err != nil {
+			return err
+		}
+		fmt.Printf("job %d requeued\n", *requeueID)
 	default:
-		return fmt.Errorf("scontrol: need -drain <node> or -resume <node>")
+		return fmt.Errorf("scontrol: need -drain, -resume, -down, -up <node> or -requeue <job>")
 	}
 	return nil
 }
@@ -99,6 +124,8 @@ func serve(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	conf := fs.String("conf", "", "slurm.conf-style configuration file (default built-in Trinity config)")
 	addr := fs.String("addr", defaultAddr, "listen address")
+	state := fs.String("state", "", "state directory for the write-ahead journal (enables crash recovery)")
+	snapEvery := fs.Int("snapshot-every", 256, "journal appends between snapshot compactions (with -state)")
 	fs.Parse(args)
 
 	cfg := slurm.DefaultConfig()
@@ -114,7 +141,16 @@ func serve(args []string) error {
 		}
 		cfg = parsed
 	}
-	ctl, err := slurm.NewController(cfg)
+	var ctl *slurm.Controller
+	var err error
+	if *state != "" {
+		if err := os.MkdirAll(*state, 0o755); err != nil {
+			return err
+		}
+		ctl, err = slurm.OpenJournaled(cfg, *state, *snapEvery)
+	} else {
+		ctl, err = slurm.NewController(cfg)
+	}
 	if err != nil {
 		return err
 	}
@@ -125,12 +161,15 @@ func serve(args []string) error {
 	}
 	fmt.Printf("mini-slurm: cluster %q policy %s listening on %s\n",
 		cfg.ClusterName, cfg.Policy, bound)
+	if *state != "" {
+		fmt.Printf("mini-slurm: journaling to %s (clock %s after replay)\n", *state, ctl.Now())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	srv.Close()
-	return nil
+	srv.Shutdown(10 * time.Second)
+	return ctl.Close()
 }
 
 func dial(fs *flag.FlagSet, args []string) (*slurm.Client, *flag.FlagSet, error) {

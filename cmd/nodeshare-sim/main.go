@@ -19,6 +19,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/des"
+	"repro/internal/fault"
 	"repro/internal/interference"
 	"repro/internal/job"
 	"repro/internal/report"
@@ -44,6 +45,13 @@ func main() {
 	corun := flag.String("corun", "", "CSV of measured co-run pairs overriding the analytic model (appA,appB,rateA,rateB)")
 	corunExport := flag.Bool("corun-template", false, "print the analytic co-run matrix as a CSV template and exit")
 	horizon := flag.Float64("horizon", 0, "stop after this many simulated seconds (0 = run to completion)")
+	mtbf := flag.Float64("mtbf", 0, "per-node mean time between failures in seconds (0 = no node failures)")
+	mttr := flag.Float64("mttr", 900, "per-node mean time to repair in seconds")
+	faultShape := flag.Float64("fault-shape", 1, "Weibull shape of time-to-failure (1 = exponential)")
+	crashProb := flag.Float64("crashprob", 0, "per-attempt job crash probability")
+	maxRetries := flag.Int("max-retries", 3, "requeue attempts before a job is marked failed (negative = none)")
+	backoff := flag.Float64("backoff", 30, "base requeue backoff in seconds, doubling per retry (negative = none)")
+	faultSeed := flag.Uint64("fault-seed", 1, "failure-trace RNG seed")
 	flag.Parse()
 
 	if *corunExport {
@@ -71,6 +79,20 @@ func main() {
 		t := topology.Default(*nodes)
 		cfg.Topology = &t
 		cfg.LocalityAware = true
+	}
+	if *mtbf < 0 || *crashProb < 0 {
+		fatal(fmt.Errorf("-mtbf and -crashprob must be non-negative"))
+	}
+	faultsOn := *mtbf > 0 || *crashProb > 0
+	if faultsOn {
+		cfg.Faults = &fault.Config{
+			Enabled: true, MTBF: *mtbf, MTTR: *mttr, Shape: *faultShape,
+			CrashProb: *crashProb, MaxRetries: *maxRetries,
+			Backoff: des.Duration(*backoff), Seed: *faultSeed,
+		}
+		if err := cfg.Faults.Validate(); err != nil {
+			fatal(err)
+		}
 	}
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
@@ -135,15 +157,7 @@ func main() {
 		all = append(all, sys.Finished()...)
 		all = append(all, sys.Engine().Killed()...)
 		all = append(all, sys.Engine().Rejected()...)
-		f, err := os.Create(*acctPath)
-		if err != nil {
-			fatal(err)
-		}
-		if err := acct.Write(f, acct.FromJobs(all)); err != nil {
-			f.Close()
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		if err := acct.WriteFile(*acctPath, acct.FromJobs(all)); err != nil {
 			fatal(err)
 		}
 	}
@@ -173,6 +187,15 @@ func main() {
 	fmt.Printf("  stretch mean:             %.3f\n", r.Stretch.Mean)
 	fmt.Printf("  scheduler pass mean:      %.1fµs over %d passes\n",
 		r.DecisionNanos.Mean/1e3, r.DecisionNanos.N)
+	if faultsOn {
+		fmt.Printf("  goodput:                  %.3f\n", r.Goodput)
+		fmt.Printf("  node failures / repairs:  %d / %d\n", r.NodeFailures, r.NodeRepairs)
+		fmt.Printf("  job crashes / requeues:   %d / %d\n", r.JobCrashes, r.Requeues)
+		fmt.Printf("  jobs failed permanently:  %d\n", r.FailedJobs)
+		fmt.Printf("  lost node-seconds:        %.0f\n", r.LostNodeSeconds)
+		fmt.Printf("  down node-seconds:        %.0f\n", r.DownNodeSeconds)
+		fmt.Printf("  mean time to reschedule:  %.0fs\n", r.MeanRescheduleSeconds)
+	}
 }
 
 func fatal(err error) {

@@ -27,24 +27,31 @@ type Record struct {
 	Start   float64 `json:"start"`
 	End     float64 `json:"end"`
 	Limit   float64 `json:"limit"`
-	State   string  `json:"state"` // FINISHED | KILLED | CANCELLED
+	State   string  `json:"state"` // FINISHED | KILLED | CANCELLED | FAILED
 	Shared  bool    `json:"shared"`
 	Stretch float64 `json:"stretch,omitempty"` // execution / dedicated runtime
 	Work    float64 `json:"work"`              // delivered node-seconds
+	// Requeues and Lost record the job's failure history: how many times it
+	// was evicted and requeued, and the node-seconds of partial progress
+	// those evictions discarded.
+	Requeues int     `json:"requeues,omitempty"`
+	Lost     float64 `json:"lost,omitempty"`
 }
 
-// FromJob builds the accounting record of a completed (finished, killed, or
-// cancelled) job. It panics on pending/running jobs: accounting happens at
-// completion.
+// FromJob builds the accounting record of a completed (finished, killed,
+// cancelled, or failed) job. It panics on pending/running jobs: accounting
+// happens at completion.
 func FromJob(j *job.Job) Record {
 	r := Record{
-		JobID:  int64(j.ID),
-		Name:   j.Name,
-		App:    j.App.Name,
-		Nodes:  j.Nodes,
-		Submit: float64(j.Submit),
-		Limit:  float64(j.ReqWalltime),
-		State:  j.State().String(),
+		JobID:    int64(j.ID),
+		Name:     j.Name,
+		App:      j.App.Name,
+		Nodes:    j.Nodes,
+		Submit:   float64(j.Submit),
+		Limit:    float64(j.ReqWalltime),
+		State:    j.State().String(),
+		Requeues: j.Requeues(),
+		Lost:     float64(j.Nodes) * j.LostWork(),
 	}
 	switch j.State() {
 	case job.Finished:
@@ -60,6 +67,11 @@ func FromJob(j *job.Job) Record {
 		r.Work = 0 // killed work is discarded
 	case job.Cancelled:
 		r.End = float64(j.EndTime())
+	case job.Failed:
+		// A failed job's last attempt was requeued before the give-up, so
+		// its start is reset; only the end (give-up time) is meaningful.
+		r.End = float64(j.EndTime())
+		r.Shared = j.EverShared()
 	default:
 		panic(fmt.Sprintf("acct: job %d still %v", j.ID, j.State()))
 	}
@@ -132,7 +144,7 @@ func Summary(records []Record) *report.Table {
 			a.shared++
 		}
 		switch r.State {
-		case "KILLED":
+		case "KILLED", "FAILED":
 			a.killed++
 		case "FINISHED":
 			a.waits = append(a.waits, r.Start-r.Submit)

@@ -1,0 +1,82 @@
+package acct
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// LineWriter is a durable JSON-lines appender: every value becomes one line,
+// Sync flushes buffers and forces the data to stable storage, and Close
+// propagates every error on the way down. The accounting exporter and the
+// controller's write-ahead journal both write through it — accounting data
+// that vanishes in a crash defeats its purpose.
+type LineWriter struct {
+	f   *os.File
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+// Create opens path truncated for line-writing.
+func Create(path string) (*LineWriter, error) {
+	return openFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC)
+}
+
+// OpenAppend opens path for appending, creating it if missing.
+func OpenAppend(path string) (*LineWriter, error) {
+	return openFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND)
+}
+
+func openFile(path string, flags int) (*LineWriter, error) {
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("acct: open %s: %w", path, err)
+	}
+	bw := bufio.NewWriter(f)
+	return &LineWriter{f: f, bw: bw, enc: json.NewEncoder(bw)}, nil
+}
+
+// Append writes one value as a JSON line.
+func (w *LineWriter) Append(v any) error {
+	if err := w.enc.Encode(v); err != nil {
+		return fmt.Errorf("acct: append to %s: %w", w.f.Name(), err)
+	}
+	return nil
+}
+
+// Sync flushes buffered lines and forces them to stable storage.
+func (w *LineWriter) Sync() error {
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("acct: flush %s: %w", w.f.Name(), err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("acct: sync %s: %w", w.f.Name(), err)
+	}
+	return nil
+}
+
+// Close syncs and closes, reporting the first failure.
+func (w *LineWriter) Close() error {
+	syncErr := w.Sync()
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("acct: close %s: %w", w.f.Name(), err)
+	}
+	return syncErr
+}
+
+// WriteFile durably writes an accounting file: records are written, synced to
+// stable storage, and the file closed, with every error checked.
+func WriteFile(path string, records []Record) error {
+	w, err := Create(path)
+	if err != nil {
+		return err
+	}
+	for _, r := range records {
+		if err := w.Append(r); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	return w.Close()
+}

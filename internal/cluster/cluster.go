@@ -81,6 +81,7 @@ type Node struct {
 	threads map[JobID]int // per-job allocated thread count on this node
 	free    int           // free hardware threads
 	drained bool          // administratively removed from scheduling
+	down    bool          // failed hardware: no allocations until repaired
 }
 
 func newNode(id int, cfg Config) *Node {
@@ -121,6 +122,15 @@ func (n *Node) Idle() bool { return n.free == len(n.owner) }
 // Drained reports whether the node is administratively removed from
 // scheduling (running jobs keep their allocations; no new work lands).
 func (n *Node) Drained() bool { return n.drained }
+
+// Down reports whether the node is failed. Unlike draining — which lets
+// running jobs finish in place — a node goes down with its residents dead;
+// the engine kills and requeues them before marking the node down.
+func (n *Node) Down() bool { return n.down }
+
+// Available reports whether the node may accept new allocations: neither
+// drained nor down.
+func (n *Node) Available() bool { return !n.drained && !n.down }
 
 // MemFreeMB returns the unreserved memory on the node.
 func (n *Node) MemFreeMB() int {
@@ -198,6 +208,7 @@ var (
 	ErrUnknownJob  = errors.New("cluster: job holds no allocation")
 	ErrBadPlace    = errors.New("cluster: malformed placement")
 	ErrDrained     = errors.New("cluster: node is drained")
+	ErrDown        = errors.New("cluster: node is down")
 )
 
 // NodePlacement is one node's share of a placement: which hardware threads a
@@ -295,6 +306,9 @@ func (c *Cluster) Allocate(p Placement) error {
 		if c.nodes[np.Node].drained {
 			return fmt.Errorf("%w: node %d", ErrDrained, np.Node)
 		}
+		if c.nodes[np.Node].down {
+			return fmt.Errorf("%w: node %d", ErrDown, np.Node)
+		}
 		if len(np.Threads) == 0 {
 			return fmt.Errorf("%w: no threads on node %d for job %d", ErrBadPlace, np.Node, p.Job)
 		}
@@ -385,6 +399,29 @@ func (c *Cluster) DrainedNodes() []int {
 	var out []int
 	for i, n := range c.nodes {
 		if n.drained {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SetDown marks node ni as failed (true) or repaired (false). The caller —
+// the simulation engine — is responsible for evicting residents first; a
+// down node with live allocations would model jobs running on dead hardware,
+// so SetDown panics in that case.
+func (c *Cluster) SetDown(ni int, down bool) {
+	n := c.Node(ni)
+	if down && len(n.threads) > 0 {
+		panic(fmt.Sprintf("cluster: node %d set down with %d resident jobs", ni, len(n.threads)))
+	}
+	n.down = down
+}
+
+// DownNodes returns the indices of down nodes, ascending.
+func (c *Cluster) DownNodes() []int {
+	var out []int
+	for i, n := range c.nodes {
+		if n.down {
 			out = append(out, i)
 		}
 	}

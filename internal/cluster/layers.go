@@ -67,12 +67,12 @@ func (c *Cluster) LayerPlacement(id JobID, nodes []int, l Layer, memPerNodeMB in
 	return p
 }
 
-// IdleNodes returns the indices of fully idle, schedulable (not drained)
-// nodes, ascending.
+// IdleNodes returns the indices of fully idle, schedulable (neither drained
+// nor down) nodes, ascending.
 func (c *Cluster) IdleNodes() []int {
 	var out []int
 	for i, n := range c.nodes {
-		if n.Idle() && !n.drained {
+		if n.Idle() && n.Available() {
 			out = append(out, i)
 		}
 	}
@@ -83,7 +83,7 @@ func (c *Cluster) IdleNodes() []int {
 func (c *Cluster) CountIdle() int {
 	k := 0
 	for _, n := range c.nodes {
-		if n.Idle() && !n.drained {
+		if n.Idle() && n.Available() {
 			k++
 		}
 	}
@@ -96,7 +96,7 @@ func (c *Cluster) CountIdle() int {
 func (c *Cluster) ShareCandidates(l Layer, memMB int) []int {
 	var out []int
 	for i, n := range c.nodes {
-		if n.Idle() || n.drained {
+		if n.Idle() || !n.Available() {
 			continue
 		}
 		if !c.LayerFree(i, l) {

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/des"
+	"repro/internal/fault"
 	"repro/internal/interference"
 	"repro/internal/job"
 	"repro/internal/metrics"
@@ -54,6 +55,10 @@ type Config struct {
 	// the analytic interference model for matching two-job co-locations
 	// (see interference.ParseCoRunCSV for the file format).
 	MeasuredPairs []interference.MeasuredPair
+	// Faults enables deterministic fault injection (node failures, job
+	// crashes, requeue with retries and backoff). Nil disables it at zero
+	// cost.
+	Faults *fault.Config
 }
 
 // JobSpec is a user-level submission.
@@ -115,7 +120,7 @@ func NewSystem(cfg Config) (*System, error) {
 		engine: sim.New(sim.Config{
 			Cluster: cfg.Machine, Policy: pol, Inter: inter,
 			Topo: cfg.Topology, LocalityAware: cfg.LocalityAware,
-			StrictLimits: cfg.StrictLimits,
+			StrictLimits: cfg.StrictLimits, Faults: cfg.Faults,
 		}),
 		byID: make(map[cluster.JobID]*job.Job),
 	}, nil

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/des"
+	"repro/internal/fault"
 	"repro/internal/job"
 	"repro/internal/metrics"
 	"repro/internal/report"
@@ -32,6 +33,13 @@ type Options struct {
 	Jobs int
 	// RuntimeScale multiplies application runtimes (see workload.Spec).
 	RuntimeScale float64
+	// FaultMTTR, FaultShape, and FaultCrashProb parameterize the F12
+	// resilience sweep (which varies MTBF itself). Zero values default to a
+	// 900 s repair time, exponential failures, and a 2% per-attempt crash
+	// probability.
+	FaultMTTR      float64
+	FaultShape     float64
+	FaultCrashProb float64
 }
 
 func (o Options) withDefaults() Options {
@@ -46,6 +54,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RuntimeScale == 0 {
 		o.RuntimeScale = 0.05
+	}
+	if o.FaultMTTR == 0 {
+		o.FaultMTTR = 900
+	}
+	if o.FaultShape == 0 {
+		o.FaultShape = 1
+	}
+	if o.FaultCrashProb == 0 {
+		o.FaultCrashProb = 0.02
 	}
 	return o
 }
@@ -105,6 +122,8 @@ func All() []Experiment {
 			"scattered allocations raise network contention; compact placement recovers the loss", runF10},
 		{"F11", "sched-interval", "periodic vs event-driven scheduling passes",
 			"the sharing gain survives SLURM-scale backfill intervals", runF11},
+		{"F12", "resilience", "exclusive vs sharing under node failures and job crashes",
+			"sharing keeps its efficiency lead under churn despite larger co-location blast radius", runF12},
 		{"T4", "per-app", "per-application stretch and wait breakdown",
 			"all apps gain wait; co-locating apps pay the stretch", runT4},
 	}
@@ -153,6 +172,8 @@ type scenario struct {
 	// schedInterval batches scheduling onto periodic ticks (F11); zero is
 	// event-driven.
 	schedInterval float64
+	// faults enables fault injection (F12); nil runs failure-free.
+	faults *fault.Config
 }
 
 // runScenarioJobs executes one simulation and returns its metrics along
@@ -180,6 +201,7 @@ func runScenarioJobs(sc scenario) (metrics.Result, []*job.Job, error) {
 		Cluster: sc.cluster, Policy: pol, StrictLimits: sc.strictLimits,
 		Topo: sc.topo, LocalityAware: sc.locality,
 		SchedInterval: des.Duration(sc.schedInterval),
+		Faults:        sc.faults,
 	})
 	if err := e.SubmitAll(jobs); err != nil {
 		return metrics.Result{}, nil, err

@@ -16,7 +16,7 @@ func fastOpts() Options {
 
 func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
-	want := []string{"T1", "T2", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "T3", "A1", "A2", "A3", "A4", "E1", "F8", "F9", "F10", "F11", "T4"}
+	want := []string{"T1", "T2", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "T3", "A1", "A2", "A3", "A4", "E1", "F8", "F9", "F10", "F11", "F12", "T4"}
 	if len(ids) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(ids), len(want))
 	}
@@ -160,6 +160,34 @@ func TestF7SMTOffMeansNoSharing(t *testing.T) {
 	}
 	if !strings.HasPrefix(row[4], "+0.0%") && !strings.HasPrefix(row[4], "-0.0%") {
 		t.Fatalf("SMT-off CE gain = %s, want ±0.0%%", row[4])
+	}
+}
+
+func TestF12FaultFreeRowIsClean(t *testing.T) {
+	o := Options{Seeds: []uint64{7, 8}, Nodes: 16, Jobs: 120, RuntimeScale: 0.02}
+	tbl, err := runF12(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodput := map[string]float64{}
+	for _, row := range tbl.Rows {
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatalf("goodput cell %q", row[1])
+		}
+		goodput[row[0]] = v
+	}
+	// Without faults nothing is lost: goodput is exactly 1 for both policies.
+	for _, key := range []string{"easy/none", "sharebackfill/none"} {
+		if goodput[key] != 1.0 {
+			t.Fatalf("%s goodput = %g, want exactly 1", key, goodput[key])
+		}
+	}
+	// Under the harshest level both policies lose real work.
+	for _, key := range []string{"easy/2h", "sharebackfill/2h"} {
+		if g := goodput[key]; g <= 0 || g >= 1 {
+			t.Fatalf("%s goodput = %g, want in (0,1)", key, g)
+		}
 	}
 }
 

@@ -21,14 +21,17 @@ import (
 type State int
 
 // Lifecycle states. The transitions are Pending → Running → Finished; jobs
-// may move Pending → Cancelled, and Running → Killed when a batch system
-// with strict limits terminates a job at its walltime.
+// may move Pending → Cancelled, Running → Killed when a batch system with
+// strict limits terminates a job at its walltime, Running → Pending when a
+// failure evicts and requeues the job, and Pending → Failed when its retries
+// are exhausted.
 const (
 	Pending State = iota
 	Running
 	Finished
 	Cancelled
 	Killed
+	Failed
 )
 
 // String returns the state name as used in queue listings.
@@ -44,6 +47,8 @@ func (s State) String() string {
 		return "CANCELLED"
 	case Killed:
 		return "KILLED"
+	case Failed:
+		return "FAILED"
 	default:
 		return fmt.Sprintf("STATE(%d)", int(s))
 	}
@@ -90,6 +95,10 @@ type Job struct {
 	// Sharing statistics.
 	sharedSeconds float64 // wall seconds spent at rate < 1
 	minRate       float64 // worst rate experienced (1 if never shared)
+
+	// Failure statistics.
+	requeues int     // times the job was evicted and returned to the queue
+	lostWork float64 // dedicated-seconds of progress discarded by evictions
 }
 
 // Validate checks submission-time invariants.
@@ -249,11 +258,52 @@ func (j *Job) Kill(t des.Time) {
 // integration step while still running).
 func (j *Job) DeliveredWork() float64 {
 	switch j.state {
-	case Pending, Cancelled:
+	case Pending, Cancelled, Failed:
 		return 0
 	default:
 		return float64(j.TrueRuntime) - j.remaining
 	}
+}
+
+// Requeue evicts a running job at time t — the node-failure / job-crash /
+// scontrol-requeue path — and returns it to Pending for another attempt.
+// The attempt's partial progress is integrated, charged to the job's
+// lost-work account (failures discard progress; there is no checkpointing),
+// and the integrator is reset so the next Start begins from zero.
+// It returns the dedicated-seconds of work this eviction discarded.
+func (j *Job) Requeue(t des.Time) float64 {
+	if j.state != Running {
+		panic(fmt.Sprintf("job %d: Requeue in state %v", j.ID, j.state))
+	}
+	j.integrate(t)
+	lost := float64(j.TrueRuntime) - j.remaining
+	if lost < 0 {
+		lost = 0
+	}
+	j.lostWork += lost
+	j.requeues++
+	j.state = Pending
+	j.start, j.end = 0, 0
+	j.remaining = 0
+	j.rate = 0
+	return lost
+}
+
+// Requeues returns how many times the job was evicted and requeued.
+func (j *Job) Requeues() int { return j.requeues }
+
+// LostWork returns the dedicated-seconds of progress discarded across all of
+// the job's evictions.
+func (j *Job) LostWork() float64 { return j.lostWork }
+
+// Fail marks a just-requeued (pending) job as permanently failed: its retry
+// budget is exhausted and the batch system gives up on it.
+func (j *Job) Fail(t des.Time) {
+	if j.state != Pending {
+		panic(fmt.Sprintf("job %d: Fail in state %v", j.ID, j.state))
+	}
+	j.state = Failed
+	j.end = t
 }
 
 // Cancel moves a pending job to Cancelled at time t.

@@ -75,6 +75,31 @@ type Result struct {
 	// DecisionNanos summarizes the real (wall-clock) time the scheduler
 	// spent per decision pass — the paper's "no overhead" claim.
 	DecisionNanos stats.Summary
+
+	// Resilience observations (all zero when fault injection is off).
+
+	// NodeFailures and NodeRepairs count node fail/repair transitions.
+	NodeFailures, NodeRepairs int
+	// JobCrashes counts job attempts terminated by the software-crash
+	// process (node-failure victims are counted under Requeues only).
+	JobCrashes int
+	// Requeues counts evictions that returned a job to the queue.
+	Requeues int
+	// FailedJobs counts jobs abandoned after exhausting their retries
+	// (a subset of Killed).
+	FailedJobs int
+	// LostNodeSeconds is the node-time of partial progress discarded by
+	// evictions (lost work is charged, never silently dropped).
+	LostNodeSeconds float64
+	// DownNodeSeconds integrates the number of down nodes over time.
+	DownNodeSeconds float64
+	// MeanRescheduleSeconds is the mean time from a job's eviction to its
+	// next start (the queue's recovery latency); 0 when nothing requeued.
+	MeanRescheduleSeconds float64
+	// Goodput is delivered useful work over all node-time charged for work:
+	// TotalDemand / (TotalDemand + LostNodeSeconds + WastedNodeSeconds).
+	// 1 when nothing is ever lost; falls as failures burn node-time.
+	Goodput float64
 }
 
 // Compute fills the derived fields of a Result from its raw observations
@@ -110,6 +135,10 @@ func Compute(raw Result, finished []*job.Job, decisionTimes []time.Duration) Res
 		nanos[i] = float64(d.Nanoseconds())
 	}
 	r.DecisionNanos = stats.Summarize(nanos)
+
+	if charged := r.TotalDemand + r.LostNodeSeconds + r.WastedNodeSeconds; charged > 0 {
+		r.Goodput = r.TotalDemand / charged
+	}
 	return r
 }
 
@@ -132,6 +161,16 @@ func (r Result) Validate() error {
 		return fmt.Errorf("metrics: utilization %g outside [0,1]", r.Utilization)
 	case r.SharedFraction < 0 || r.SharedFraction > 1+1e-9:
 		return fmt.Errorf("metrics: shared fraction %g outside [0,1]", r.SharedFraction)
+	case r.LostNodeSeconds < 0:
+		return fmt.Errorf("metrics: negative lost node-seconds %g", r.LostNodeSeconds)
+	case r.DownNodeSeconds < 0:
+		return fmt.Errorf("metrics: negative down node-seconds %g", r.DownNodeSeconds)
+	case r.Goodput < 0 || r.Goodput > 1+1e-9:
+		return fmt.Errorf("metrics: goodput %g outside [0,1]", r.Goodput)
+	case r.FailedJobs > r.Killed:
+		return fmt.Errorf("metrics: failed jobs %d exceed killed %d", r.FailedJobs, r.Killed)
+	case r.NodeRepairs > r.NodeFailures:
+		return fmt.Errorf("metrics: repairs %d exceed failures %d", r.NodeRepairs, r.NodeFailures)
 	}
 	return nil
 }

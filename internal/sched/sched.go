@@ -262,7 +262,7 @@ func nodeUsableFor(ctx *Context, j *job.Job, ni int, exclude map[int]bool) (shar
 		return shareCandidate{}, false
 	}
 	n := c.Node(ni)
-	if n.Idle() || n.Drained() || n.SharingDegree() >= cfg.MaxDegree ||
+	if n.Idle() || !n.Available() || n.SharingDegree() >= cfg.MaxDegree ||
 		n.MemFreeMB() < j.App.MemPerNodeMB {
 		return shareCandidate{}, false
 	}

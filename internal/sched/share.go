@@ -84,7 +84,7 @@ func slotBound(ctx *Context) int {
 	bound := 0
 	for ni := 0; ni < c.Size(); ni++ {
 		n := c.Node(ni)
-		if n.Drained() {
+		if !n.Available() {
 			continue
 		}
 		if n.Idle() {

@@ -21,6 +21,7 @@ import (
 	"repro/internal/app"
 	"repro/internal/cluster"
 	"repro/internal/des"
+	"repro/internal/fault"
 	"repro/internal/interference"
 	"repro/internal/job"
 	"repro/internal/metrics"
@@ -59,6 +60,12 @@ type Config struct {
 	// reacting to every event. Zero keeps the event-driven default, which
 	// bounds the best achievable responsiveness.
 	SchedInterval des.Duration
+	// Faults enables deterministic fault injection: per-node MTBF/MTTR
+	// failures that kill every resident job (co-located victims included)
+	// and per-job crash probability, with requeue under max-retries and
+	// exponential backoff. Nil or inactive is bit-identical to a build
+	// without the fault layer: no events, no RNG draws, no cost.
+	Faults *fault.Config
 }
 
 // shareConfigurer is implemented by the sharing policies to expose their
@@ -73,6 +80,7 @@ type runRec struct {
 	rec        *sched.RunningJob
 	completion *des.Event
 	kill       *des.Event // set only under strict limits
+	crash      *des.Event // set only when this attempt drew a crash
 }
 
 // Engine simulates one batch system instance.
@@ -110,6 +118,25 @@ type Engine struct {
 
 	decisionTimes []time.Duration
 	schedQueued   bool
+
+	// Fault injection and recovery. All zero-valued when Faults is off.
+	injector        *fault.Injector
+	retryMax        int
+	backoffBase     des.Duration
+	retries         map[cluster.JobID]int      // evictions suffered per job
+	requeueAt       map[cluster.JobID]des.Time // eviction time of requeued jobs
+	arrivalsPending int                        // submitted arrival events not yet fired
+	backoffPending  int                        // requeued jobs held in backoff
+	downCount       int
+	downIntegral    float64
+	lostNodeSeconds float64
+	nodeFails       int
+	nodeRepairs     int
+	crashes         int
+	requeues        int
+	permanentFails  int
+	reschedSum      float64
+	reschedN        int
 
 	// TraceFn, when set, receives one line per simulation event
 	// (submission, start, completion) for debugging and the CLI's
@@ -152,10 +179,24 @@ func New(cfg Config) *Engine {
 		running:       make(map[cluster.JobID]*runRec),
 		done:          make(map[cluster.JobID]bool),
 		failed:        make(map[cluster.JobID]bool),
+		retries:       make(map[cluster.JobID]int),
+		requeueAt:     make(map[cluster.JobID]des.Time),
 	}
 	if sc, ok := cfg.Policy.(shareConfigurer); ok {
 		e.share = sc.ShareConfig()
 	}
+	retry := fault.Defaults()
+	if cfg.Faults != nil && cfg.Faults.Active() {
+		inj, err := fault.NewInjector(*cfg.Faults, cfg.Cluster.Nodes)
+		if err != nil {
+			panic(err)
+		}
+		e.injector = inj
+		retry = inj.Config()
+		inj.Install(e.sim, e.onNodeFail, e.onNodeRepair, e.workRemains)
+	}
+	e.retryMax = retry.MaxRetries
+	e.backoffBase = retry.Backoff
 	return e
 }
 
@@ -177,7 +218,9 @@ func (e *Engine) Submit(j *job.Job) error {
 		return err
 	}
 	e.submitted++
+	e.arrivalsPending++
 	e.sim.Schedule(j.Submit, func(*des.Simulator) {
+		e.arrivalsPending--
 		if j.Nodes > e.cl.Size() {
 			j.Cancel(e.sim.Now())
 			e.failed[j.ID] = true
@@ -346,6 +389,11 @@ func (e *Engine) commit(d sched.Decision) {
 			e.pol.Name(), d.Job.ID, err))
 	}
 	e.removeFromQueue(d.Job.ID)
+	if at, ok := e.requeueAt[d.Job.ID]; ok {
+		e.reschedSum += float64(now - at)
+		e.reschedN++
+		delete(e.requeueAt, d.Job.ID)
+	}
 	d.Job.Start(now)
 
 	rec := &runRec{
@@ -365,6 +413,13 @@ func (e *Engine) commit(d sched.Decision) {
 		rec.kill = e.sim.Schedule(rec.rec.NominalEnd, func(*des.Simulator) {
 			e.onKill(id)
 		})
+	}
+	if e.injector != nil {
+		if frac, crashes := e.injector.CrashDraw(int64(d.Job.ID), e.retries[d.Job.ID]); crashes {
+			id := d.Job.ID
+			rec.crash = e.sim.Schedule(now+des.Duration(frac*float64(d.Job.ReqWalltime)),
+				func(*des.Simulator) { e.onJobCrash(id) })
+		}
 	}
 	e.trace("start %s on nodes %v shared=%v", d.Job, rec.rec.NodeIDs, d.Shared)
 
@@ -391,6 +446,9 @@ func (e *Engine) onComplete(id cluster.JobID) {
 	// job's own completion event is still pending at this same instant.
 	if rec.completion != nil {
 		e.sim.Cancel(rec.completion)
+	}
+	if rec.crash != nil {
+		e.sim.Cancel(rec.crash)
 	}
 	nodes, err := e.cl.Release(id)
 	if err != nil {
@@ -429,6 +487,9 @@ func (e *Engine) onKill(id cluster.JobID) {
 	if rec.completion != nil {
 		e.sim.Cancel(rec.completion)
 	}
+	if rec.crash != nil {
+		e.sim.Cancel(rec.crash)
+	}
 	nodes, err := e.cl.Release(id)
 	if err != nil {
 		panic(fmt.Sprintf("sim: release killed job %d: %v", id, err))
@@ -448,6 +509,181 @@ func (e *Engine) onKill(id cluster.JobID) {
 	e.updateRatesOnNodes(nodes)
 	e.requestSchedule()
 }
+
+// workRemains reports whether the simulation still has workload to disturb;
+// the fault injector quiesces when it returns false so RunAll terminates.
+func (e *Engine) workRemains() bool {
+	return e.arrivalsPending > 0 || e.backoffPending > 0 ||
+		len(e.queue) > 0 || len(e.held) > 0 || len(e.running) > 0
+}
+
+// onNodeFail is the node-failure reaction: every resident job is evicted
+// (co-located victims included — the risk node sharing concentrates) and the
+// node goes DOWN until repaired. Backfill reservations need no explicit
+// invalidation: policies are stateless per pass and replan from IdleNodes,
+// which excludes down nodes.
+func (e *Engine) onNodeFail(ni int) {
+	n := e.cl.Node(ni)
+	if n.Down() {
+		return // already downed by the operator; nothing more to break
+	}
+	e.account(e.sim.Now())
+	victims := append([]cluster.JobID(nil), n.Jobs()...)
+	sort.Slice(victims, func(i, j int) bool { return victims[i] < victims[j] })
+	e.trace("node %d failed (%d resident jobs)", ni, len(victims))
+	for _, id := range victims {
+		e.evict(id, "node failure")
+	}
+	e.cl.SetDown(ni, true)
+	e.downCount++
+	e.nodeFails++
+	e.requestSchedule()
+}
+
+// onNodeRepair returns a failed node to service.
+func (e *Engine) onNodeRepair(ni int) {
+	n := e.cl.Node(ni)
+	if !n.Down() {
+		return // already resumed by the operator
+	}
+	e.account(e.sim.Now())
+	e.cl.SetDown(ni, false)
+	e.downCount--
+	e.nodeRepairs++
+	e.trace("node %d repaired", ni)
+	e.requestSchedule()
+}
+
+// onJobCrash terminates one attempt by software failure. A job whose residual
+// work is round-off at the crash instant completes instead.
+func (e *Engine) onJobCrash(id cluster.JobID) {
+	rec, ok := e.running[id]
+	if !ok {
+		return // completed in the same instant; the cancel raced the event
+	}
+	if rec.job.Remaining(e.sim.Now()) < 1e-6 {
+		e.onComplete(id)
+		return
+	}
+	e.crashes++
+	e.trace("crash %s", rec.job)
+	e.evict(id, "crash")
+	e.requestSchedule()
+}
+
+// evict removes a running job from its nodes after a failure, charging the
+// attempt's partial progress to the lost-work account, and either requeues it
+// (keeping its original submit time, so it re-enters near the queue head, but
+// held out for an exponential backoff) or — once the retry budget is spent —
+// marks it permanently failed.
+func (e *Engine) evict(id cluster.JobID, cause string) {
+	rec, ok := e.running[id]
+	if !ok {
+		panic(fmt.Sprintf("sim: evict non-running job %d", id))
+	}
+	now := e.sim.Now()
+	e.account(now)
+	if rec.completion != nil {
+		e.sim.Cancel(rec.completion)
+	}
+	if rec.kill != nil {
+		e.sim.Cancel(rec.kill)
+	}
+	if rec.crash != nil {
+		e.sim.Cancel(rec.crash)
+	}
+	lost := rec.job.Requeue(now)
+	e.lostNodeSeconds += lost * float64(rec.job.Nodes)
+	nodes, err := e.cl.Release(id)
+	if err != nil {
+		panic(fmt.Sprintf("sim: release evicted job %d: %v", id, err))
+	}
+	delete(e.running, id)
+	e.retries[id]++
+	retry := e.retries[id]
+
+	if retry > e.retryMax {
+		rec.job.Fail(now)
+		e.killed = append(e.killed, rec.job)
+		e.failed[id] = true
+		e.permanentFails++
+		e.record(rec, job.Failed)
+		if now > e.lastEnd {
+			e.lastEnd = now
+		}
+		e.trace("fail %s (%s, retries exhausted after %d attempts, %.0fs of work lost)",
+			rec.job, cause, retry, lost)
+		e.releaseHeld()
+	} else {
+		e.requeues++
+		e.requeueAt[id] = now
+		hold := fault.BackoffFor(e.backoffBase, retry)
+		e.trace("requeue %s (%s, retry %d/%d, backoff %v, %.0fs of work lost)",
+			rec.job, cause, retry, e.retryMax, hold, lost)
+		if hold > 0 {
+			e.backoffPending++
+			j := rec.job
+			e.sim.ScheduleIn(hold, func(*des.Simulator) {
+				e.backoffPending--
+				e.queue = append(e.queue, j)
+				e.trace("release %s from backoff", j)
+				e.requestSchedule()
+			})
+		} else {
+			e.queue = append(e.queue, rec.job)
+			e.requestSchedule()
+		}
+	}
+	e.updateRatesOnNodes(nodes)
+}
+
+// FailNode forces a node failure at the current instant — the operator's
+// `scontrol update State=DOWN` path. Resident jobs are evicted and requeued
+// under the same retry policy as injected failures.
+func (e *Engine) FailNode(ni int) error {
+	if ni < 0 || ni >= e.cl.Size() {
+		return fmt.Errorf("sim: node %d out of range", ni)
+	}
+	if e.cl.Node(ni).Down() {
+		return fmt.Errorf("sim: node %d is already down", ni)
+	}
+	e.onNodeFail(ni)
+	return nil
+}
+
+// RepairNode returns a down node to service (scontrol update State=RESUME).
+func (e *Engine) RepairNode(ni int) error {
+	if ni < 0 || ni >= e.cl.Size() {
+		return fmt.Errorf("sim: node %d out of range", ni)
+	}
+	if !e.cl.Node(ni).Down() {
+		return fmt.Errorf("sim: node %d is not down", ni)
+	}
+	e.onNodeRepair(ni)
+	return nil
+}
+
+// RequeueRunning evicts one running job and requeues it (scontrol requeue).
+// The eviction charges lost work and counts against the job's retry budget.
+func (e *Engine) RequeueRunning(id cluster.JobID) error {
+	if _, ok := e.running[id]; !ok {
+		return fmt.Errorf("sim: job %d is not running", id)
+	}
+	e.evict(id, "operator requeue")
+	e.requestSchedule()
+	return nil
+}
+
+// FaultTrace returns the injected failure trace (nil without an injector).
+func (e *Engine) FaultTrace() []fault.Event {
+	if e.injector == nil {
+		return nil
+	}
+	return e.injector.Trace()
+}
+
+// Retries returns how many evictions job id has suffered so far.
+func (e *Engine) Retries(id cluster.JobID) int { return e.retries[id] }
 
 // updateRatesOnNodes re-derives the progress rate of every job touching the
 // given nodes and reschedules their completion events.
@@ -552,6 +788,7 @@ func (e *Engine) account(t des.Time) {
 	}
 	e.busyIntegral += dt * float64(e.cl.BusyNodes())
 	e.sharedIntegral += dt * float64(e.cl.SharedNodes())
+	e.downIntegral += dt * float64(e.downCount)
 	e.lastAccount = t
 }
 
@@ -701,6 +938,16 @@ func (e *Engine) Result() metrics.Result {
 		Makespan:          e.lastEnd,
 		BusyNodeSeconds:   e.busyIntegral,
 		SharedNodeSeconds: e.sharedIntegral,
+		NodeFailures:      e.nodeFails,
+		NodeRepairs:       e.nodeRepairs,
+		JobCrashes:        e.crashes,
+		Requeues:          e.requeues,
+		FailedJobs:        e.permanentFails,
+		LostNodeSeconds:   e.lostNodeSeconds,
+		DownNodeSeconds:   e.downIntegral,
+	}
+	if e.reschedN > 0 {
+		raw.MeanRescheduleSeconds = e.reschedSum / float64(e.reschedN)
 	}
 	return metrics.Compute(raw, e.finished, e.decisionTimes)
 }

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/des"
+	"repro/internal/fault"
 	"repro/internal/sched"
 )
 
@@ -40,6 +41,9 @@ type Config struct {
 	Partition Partition
 	// Priority configures the multifactor priority plugin.
 	Priority PriorityConfig
+	// Fault configures fault injection (populated from the Fault* keys);
+	// Enabled is derived: any positive failure rate turns it on.
+	Fault fault.Config
 }
 
 // Partition is a job partition with admission limits.
@@ -101,6 +105,14 @@ var nodeRangeRe = regexp.MustCompile(`^([a-zA-Z_-]*)\[(\d+)-(\d+)\]$`)
 //	PriorityWeightFairshare=<int>
 //	PriorityFavorSmall=YES|NO
 //	PriorityMaxAge=<seconds>
+//	FaultMTBF=<seconds>                (fault injection: mean time between
+//	                                    per-node failures; 0 = off)
+//	FaultMTTR=<seconds>                (mean time to repair)
+//	FaultShape=<float>                 (Weibull time-to-failure shape)
+//	JobCrashProb=<float>               (per-attempt crash probability)
+//	FaultMaxRetries=<int>              (requeue budget before a job fails)
+//	FaultBackoff=<seconds>             (base requeue backoff, doubling)
+//	FaultSeed=<uint>                   (failure-trace RNG seed)
 func ParseConfig(r io.Reader) (Config, error) {
 	cfg := DefaultConfig()
 	cfg.Machine = cluster.Config{} // must come from NodeName
@@ -159,6 +171,22 @@ func ParseConfig(r io.Reader) (Config, error) {
 			var v float64
 			v, err = strconv.ParseFloat(strings.TrimSpace(rest), 64)
 			cfg.Priority.MaxAge = des.Duration(v)
+		case "FaultMTBF":
+			cfg.Fault.MTBF, err = strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		case "FaultMTTR":
+			cfg.Fault.MTTR, err = strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		case "FaultShape":
+			cfg.Fault.Shape, err = strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		case "JobCrashProb":
+			cfg.Fault.CrashProb, err = strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		case "FaultMaxRetries":
+			cfg.Fault.MaxRetries, err = strconv.Atoi(strings.TrimSpace(rest))
+		case "FaultBackoff":
+			var v float64
+			v, err = strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			cfg.Fault.Backoff = des.Duration(v)
+		case "FaultSeed":
+			cfg.Fault.Seed, err = strconv.ParseUint(strings.TrimSpace(rest), 10, 64)
 		default:
 			return Config{}, fmt.Errorf("slurm: line %d: unknown key %q", lineNo, key)
 		}
@@ -172,6 +200,7 @@ func ParseConfig(r io.Reader) (Config, error) {
 	if !sawNodes {
 		return Config{}, fmt.Errorf("slurm: configuration has no NodeName line")
 	}
+	cfg.Fault.Enabled = cfg.Fault.MTBF > 0 || cfg.Fault.CrashProb > 0
 	if err := cfg.Validate(); err != nil {
 		return Config{}, err
 	}
@@ -193,6 +222,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("slurm: negative partition limits")
 	}
 	if err := c.Priority.Validate(); err != nil {
+		return err
+	}
+	if err := c.Fault.Validate(); err != nil {
 		return err
 	}
 	return nil

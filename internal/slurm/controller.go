@@ -5,9 +5,11 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/acct"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/des"
+	"repro/internal/fault"
 	"repro/internal/job"
 	"repro/internal/metrics"
 )
@@ -18,12 +20,22 @@ import (
 // simulated; clients advance it explicitly (Advance), which is what lets a
 // whole day of batch operation replay in milliseconds.
 //
+// A controller opened with OpenJournaled additionally write-ahead-journals
+// every external operation, so a crashed or killed controller restarts into
+// exactly the state it died with (see journal.go).
+//
 // All methods are safe for concurrent use (the protocol server fields many
 // connections against one controller).
 type Controller struct {
 	mu  sync.Mutex
 	cfg Config
 	sys *core.System
+
+	// Journaling state; jr is nil for an in-memory-only controller.
+	jr       *journal
+	finSeen  int
+	killSeen int
+	rejSeen  int
 }
 
 // NewController builds a controller from a validated configuration.
@@ -32,10 +44,16 @@ func NewController(cfg Config) (*Controller, error) {
 		return nil, err
 	}
 	share := cfg.Share
+	var faults *fault.Config
+	if cfg.Fault.Active() {
+		f := cfg.Fault
+		faults = &f
+	}
 	sys, err := core.NewSystem(core.Config{
 		Machine: cfg.Machine,
 		Policy:  cfg.Policy,
 		Sharing: &share,
+		Faults:  faults,
 	})
 	if err != nil {
 		return nil, err
@@ -48,6 +66,126 @@ func NewController(cfg Config) (*Controller, error) {
 		engine.SetQueueOrder(cfg.Priority.Less(engine.Now, cfg.Machine.Nodes))
 	}
 	return &Controller{cfg: cfg, sys: sys}, nil
+}
+
+// OpenJournaled builds a controller whose state survives crashes: every
+// external operation is write-ahead-journaled under dir, and any journal
+// already there is replayed first, restoring the pre-crash queue, node, and
+// clock state. snapshotEvery bounds the live journal: after that many
+// appends it is compacted into the snapshot (0 = never compact). The same
+// configuration must be supplied across restarts; the simulation is
+// deterministic, so replay reproduces the original run exactly.
+func OpenJournaled(cfg Config, dir string, snapshotEvery int) (*Controller, error) {
+	c, err := NewController(cfg)
+	if err != nil {
+		return nil, err
+	}
+	j, entries, err := openJournal(dir, snapshotEvery)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.replay(entries); err != nil {
+		j.close()
+		return nil, err
+	}
+	// Completions reproduced by replay were already journaled before the
+	// crash; start auditing after them.
+	c.finSeen = len(c.sys.Finished())
+	c.killSeen = len(c.sys.Engine().Killed())
+	c.rejSeen = len(c.sys.Engine().Rejected())
+	c.jr = j
+	return c, nil
+}
+
+// replay re-applies recovered journal entries in order. Audit entries are
+// skipped; any operation that errors or assigns a different job ID than the
+// original run means the journal and configuration have diverged.
+func (c *Controller) replay(entries []Entry) error {
+	for _, e := range entries {
+		var err error
+		switch e.Op {
+		case "record":
+			continue
+		case "submit":
+			after := make([]cluster.JobID, len(e.After))
+			for i, a := range e.After {
+				after[i] = cluster.JobID(a)
+			}
+			var id cluster.JobID
+			id, err = c.applySubmit(e.App, e.Nodes,
+				des.Duration(e.Walltime), des.Duration(e.Runtime), e.Name, after)
+			if err == nil && int64(id) != e.ID {
+				err = fmt.Errorf("job ID diverged: got %d, journal has %d", id, e.ID)
+			}
+		case "cancel":
+			err = c.sys.Engine().CancelPending(cluster.JobID(e.ID))
+		case "advance":
+			c.applyAdvance(des.Duration(e.Seconds))
+		case "drain":
+			c.sys.Run()
+		case "drain_node":
+			err = c.applyDrainNode(e.Node)
+		case "resume_node":
+			err = c.applyResumeNode(e.Node)
+		case "requeue":
+			err = c.applyRequeue(cluster.JobID(e.ID))
+		case "down_node":
+			err = c.applyDownNode(e.Node)
+		case "up_node":
+			err = c.applyUpNode(e.Node)
+		default:
+			err = fmt.Errorf("unknown op %q", e.Op)
+		}
+		if err != nil {
+			return fmt.Errorf("slurm: replay entry %d (%s): %w", e.Seq, e.Op, err)
+		}
+	}
+	return nil
+}
+
+// log appends one operation entry plus audit records for any completions it
+// caused. Callers hold c.mu. A nil journal makes it a no-op.
+func (c *Controller) log(e Entry) error {
+	if c.jr == nil {
+		return nil
+	}
+	if err := c.jr.append(e); err != nil {
+		return err
+	}
+	return c.auditCompletions()
+}
+
+// auditCompletions journals an acct.Record for every job that reached a
+// terminal state since the last audit.
+func (c *Controller) auditCompletions() error {
+	audit := func(jobs []*job.Job, seen *int) error {
+		for ; *seen < len(jobs); *seen++ {
+			rec := acct.FromJob(jobs[*seen])
+			if err := c.jr.append(Entry{Op: "record", Record: &rec}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := audit(c.sys.Finished(), &c.finSeen); err != nil {
+		return err
+	}
+	if err := audit(c.sys.Engine().Killed(), &c.killSeen); err != nil {
+		return err
+	}
+	return audit(c.sys.Engine().Rejected(), &c.rejSeen)
+}
+
+// Close flushes and releases the journal (no-op without one).
+func (c *Controller) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.jr == nil {
+		return nil
+	}
+	err := c.jr.close()
+	c.jr = nil
+	return err
 }
 
 // Config returns the controller's configuration.
@@ -66,6 +204,23 @@ func (c *Controller) Now() des.Time {
 func (c *Controller) Submit(appName string, nodes int, wall, runtime des.Duration, name string, after ...cluster.JobID) (cluster.JobID, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	id, err := c.applySubmit(appName, nodes, wall, runtime, name, after)
+	if err != nil {
+		return cluster.NoJob, err
+	}
+	deps := make([]int64, len(after))
+	for i, a := range after {
+		deps[i] = int64(a)
+	}
+	if err := c.log(Entry{Op: "submit", App: appName, Nodes: nodes,
+		Walltime: float64(wall), Runtime: float64(runtime), Name: name,
+		After: deps, ID: int64(id)}); err != nil {
+		return id, err
+	}
+	return id, nil
+}
+
+func (c *Controller) applySubmit(appName string, nodes int, wall, runtime des.Duration, name string, after []cluster.JobID) (cluster.JobID, error) {
 	if c.cfg.Partition.MaxTime > 0 && wall > c.cfg.Partition.MaxTime {
 		return cluster.NoJob, fmt.Errorf("slurm: walltime %v exceeds partition MaxTime %v",
 			wall, c.cfg.Partition.MaxTime)
@@ -95,7 +250,10 @@ func (c *Controller) Submit(appName string, nodes int, wall, runtime des.Duratio
 func (c *Controller) Cancel(id cluster.JobID) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.sys.Engine().CancelPending(id)
+	if err := c.sys.Engine().CancelPending(id); err != nil {
+		return err
+	}
+	return c.log(Entry{Op: "cancel", ID: int64(id)})
 }
 
 // Advance moves the simulated clock forward by d, executing every event in
@@ -106,8 +264,13 @@ func (c *Controller) Advance(d des.Duration) des.Time {
 	if d < 0 {
 		return c.sys.Now()
 	}
-	c.sys.RunUntil(c.sys.Now() + d)
+	c.applyAdvance(d)
+	c.log(Entry{Op: "advance", Seconds: float64(d)})
 	return c.sys.Now()
+}
+
+func (c *Controller) applyAdvance(d des.Duration) {
+	c.sys.RunUntil(c.sys.Now() + d)
 }
 
 // Drain runs the simulation until all submitted work completes.
@@ -115,7 +278,66 @@ func (c *Controller) Drain() des.Time {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.sys.Run()
+	c.log(Entry{Op: "drain"})
 	return c.sys.Now()
+}
+
+// Requeue evicts a running job and returns it to the queue — scontrol
+// requeue. Lost progress is charged and the eviction counts against the
+// job's retry budget.
+func (c *Controller) Requeue(id cluster.JobID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.applyRequeue(id); err != nil {
+		return err
+	}
+	return c.log(Entry{Op: "requeue", ID: int64(id)})
+}
+
+func (c *Controller) applyRequeue(id cluster.JobID) error {
+	if err := c.sys.Engine().RequeueRunning(id); err != nil {
+		return err
+	}
+	c.sys.RunUntil(c.sys.Now())
+	return nil
+}
+
+// DownNode forces a node down — scontrol update State=DOWN. Resident jobs
+// are evicted and requeued.
+func (c *Controller) DownNode(ni int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.applyDownNode(ni); err != nil {
+		return err
+	}
+	return c.log(Entry{Op: "down_node", Node: ni})
+}
+
+func (c *Controller) applyDownNode(ni int) error {
+	if err := c.sys.Engine().FailNode(ni); err != nil {
+		return err
+	}
+	c.sys.RunUntil(c.sys.Now())
+	return nil
+}
+
+// UpNode returns a down node to service — scontrol update State=RESUME on a
+// DOWN node.
+func (c *Controller) UpNode(ni int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.applyUpNode(ni); err != nil {
+		return err
+	}
+	return c.log(Entry{Op: "up_node", Node: ni})
+}
+
+func (c *Controller) applyUpNode(ni int) error {
+	if err := c.sys.Engine().RepairNode(ni); err != nil {
+		return err
+	}
+	c.sys.RunUntil(c.sys.Now())
+	return nil
 }
 
 // Stats computes the evaluation metrics for the work so far.
@@ -130,6 +352,13 @@ func (c *Controller) Stats() metrics.Result {
 func (c *Controller) DrainNode(ni int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.applyDrainNode(ni); err != nil {
+		return err
+	}
+	return c.log(Entry{Op: "drain_node", Node: ni})
+}
+
+func (c *Controller) applyDrainNode(ni int) error {
 	cl := c.sys.Cluster()
 	if ni < 0 || ni >= cl.Size() {
 		return fmt.Errorf("slurm: node %d out of range (cluster has %d nodes)", ni, cl.Size())
@@ -143,6 +372,13 @@ func (c *Controller) DrainNode(ni int) error {
 func (c *Controller) ResumeNode(ni int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.applyResumeNode(ni); err != nil {
+		return err
+	}
+	return c.log(Entry{Op: "resume_node", Node: ni})
+}
+
+func (c *Controller) applyResumeNode(ni int) error {
 	cl := c.sys.Cluster()
 	if ni < 0 || ni >= cl.Size() {
 		return fmt.Errorf("slurm: node %d out of range (cluster has %d nodes)", ni, cl.Size())
@@ -228,6 +464,9 @@ func (c *Controller) History() []JobInfo {
 	for _, j := range c.sys.Finished() {
 		add(j)
 	}
+	for _, j := range c.sys.Engine().Killed() {
+		add(j)
+	}
 	for _, j := range c.sys.Engine().Rejected() {
 		add(j)
 	}
@@ -254,6 +493,8 @@ func (c *Controller) Nodes() []NodeInfo {
 		n := cl.Node(i)
 		state := "idle"
 		switch {
+		case n.Down():
+			state = "down"
 		case n.Drained() && n.Idle():
 			state = "drained"
 		case n.Drained():

@@ -15,6 +15,13 @@ func FuzzParseConfig(f *testing.F) {
 	f.Add("ClusterName=x\nNodeName=n CPUs=2 ThreadsPerCore=1 RealMemory=64\n")
 	f.Add("NodeName=n[001-999] CPUs=64 ThreadsPerCore=2 RealMemory=131072\nOverSubscribe=YES\n")
 	f.Add("=")
+	f.Add("NodeName=n[1-4] CPUs=8 ThreadsPerCore=2 RealMemory=1024\n" +
+		"FaultMTBF=86400\nFaultMTTR=900\nFaultShape=1.5\nJobCrashProb=0.02\n" +
+		"FaultMaxRetries=3\nFaultBackoff=30\nFaultSeed=7\n")
+	f.Add("NodeName=n CPUs=2 ThreadsPerCore=1 RealMemory=64\nFaultMTBF=-1\n")
+	f.Add("NodeName=n CPUs=2 ThreadsPerCore=1 RealMemory=64\nJobCrashProb=1.5\n")
+	f.Add("NodeName=n CPUs=2 ThreadsPerCore=1 RealMemory=64\nFaultMTBF=100\nFaultMTTR=0\n")
+	f.Add("NodeName=n CPUs=2 ThreadsPerCore=1 RealMemory=64\nFaultSeed=18446744073709551615\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		cfg, err := ParseConfig(strings.NewReader(input))
 		if err != nil {

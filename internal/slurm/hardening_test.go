@@ -1,0 +1,157 @@
+package slurm
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestProtocolFaultVerbs drives requeue / down_node / up_node end to end
+// over the wire.
+func TestProtocolFaultVerbs(t *testing.T) {
+	cl, _ := startServer(t)
+
+	id, err := cl.Submit("minife", 2, 3600, 1800, "victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := cl.Queue(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].State != "RUNNING" {
+		t.Fatalf("queue = %+v", jobs)
+	}
+	ni := jobs[0].NodeList[0]
+
+	if err := cl.DownNode(ni); err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := cl.Nodes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nodes[ni].State != "down" {
+		t.Fatalf("node %d state = %q, want down", ni, nodes[ni].State)
+	}
+	if err := cl.DownNode(ni); err == nil {
+		t.Fatal("double down_node succeeded")
+	}
+	if err := cl.UpNode(ni); err != nil {
+		t.Fatal(err)
+	}
+
+	// The victim was requeued by the node failure and restarts once time
+	// moves; requeue it once more explicitly via the protocol.
+	if _, err := cl.Advance(100); err != nil {
+		t.Fatal(err)
+	}
+	jobs, err = cl.Queue(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].State != "RUNNING" {
+		t.Fatalf("queue after repair = %+v", jobs)
+	}
+	if err := cl.Requeue(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Requeue(id); err == nil {
+		t.Fatal("requeue of non-running job succeeded")
+	}
+	if _, err := cl.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	hist, err := cl.Queue(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 1 || hist[0].State != "FINISHED" {
+		t.Fatalf("history = %+v", hist)
+	}
+}
+
+// TestServerRejectsOverlongLine: a request line beyond MaxLine draws an
+// error response and the connection closes instead of the server buffering
+// without bound.
+func TestServerRejectsOverlongLine(t *testing.T) {
+	cl, _ := startServer(t)
+	conn, err := net.Dial("tcp", cl.conn.RemoteAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	big := strings.Repeat("x", MaxLine+2)
+	if _, err := conn.Write([]byte(big)); err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte("\n"))
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), MaxLine)
+	if !sc.Scan() {
+		t.Fatal("no error response before close")
+	}
+	if !strings.Contains(sc.Text(), "exceeds") {
+		t.Fatalf("response = %s", sc.Text())
+	}
+	if sc.Scan() {
+		t.Fatal("connection not closed after over-long request")
+	}
+}
+
+// TestServerReadTimeout: an idle connection is dropped once its read
+// deadline passes.
+func TestServerReadTimeout(t *testing.T) {
+	ctl, err := NewController(testControllerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ctl)
+	srv.ReadTimeout = 50 * time.Millisecond
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("read returned data; want connection closed by idle timeout")
+	}
+}
+
+// TestServerGracefulShutdown: Shutdown drains cleanly; afterwards new
+// requests fail rather than hang.
+func TestServerGracefulShutdown(t *testing.T) {
+	cl, srv := startServer(t)
+	if _, err := cl.Submit("minife", 1, 1800, 900, "pre"); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		srv.Shutdown(2 * time.Second)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown did not return")
+	}
+	if _, err := cl.Do(Request{Op: "now"}); err == nil {
+		t.Fatal("request succeeded after shutdown")
+	}
+	if _, err := Dial(cl.conn.RemoteAddr().String()); err == nil {
+		// A dial may still connect if the OS queues it, but a request on
+		// it must fail.
+		t.Log("dial after shutdown accepted by OS backlog; tolerated")
+	}
+}

@@ -1,0 +1,189 @@
+package slurm
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/acct"
+)
+
+// Crash recovery. slurmctld survives restarts by writing StateSaveLocation;
+// this controller does the same with a write-ahead journal of every external
+// operation (submit, cancel, advance, node state changes). The simulation is
+// deterministic, so replaying the journal against a fresh controller rebuilds
+// the exact pre-crash state — queue, running set, node states, and clock.
+// Completions additionally append audit entries embedding the acct.Record
+// format; replay skips them (they are outputs, not inputs), but they make the
+// journal a complete accounting trail on their own.
+//
+// A snapshot compacts the log: the journal's entries are folded into
+// snapshot.jsonl with an atomic tmp+rename, and the journal truncated.
+// Recovery reads snapshot.jsonl then journal.jsonl; a torn final line (crash
+// mid-append) is dropped, anything else malformed is an error.
+
+// Entry is one journal line: an external operation to replay, or an audit
+// record (Op "record") to skip.
+type Entry struct {
+	Seq int64  `json:"seq"`
+	Op  string `json:"op"`
+	// Submit arguments; ID doubles as the expected assigned job ID, which
+	// replay verifies to catch divergence.
+	App      string  `json:"app,omitempty"`
+	Nodes    int     `json:"nodes,omitempty"`
+	Walltime float64 `json:"walltime,omitempty"`
+	Runtime  float64 `json:"runtime,omitempty"`
+	Name     string  `json:"name,omitempty"`
+	After    []int64 `json:"after,omitempty"`
+	ID       int64   `json:"id,omitempty"`
+	Seconds  float64 `json:"seconds,omitempty"`
+	Node     int     `json:"node,omitempty"`
+	// Record is the audit payload of a completion entry.
+	Record *acct.Record `json:"record,omitempty"`
+}
+
+// journal is the append side of the write-ahead log. Every append is synced
+// to stable storage before the operation is acknowledged.
+type journal struct {
+	dir   string
+	w     *acct.LineWriter
+	seq   int64
+	every int // compact after this many appends (0 = never)
+	ops   int // appends since the last compaction
+}
+
+func snapshotFile(dir string) string { return filepath.Join(dir, "snapshot.jsonl") }
+func journalFile(dir string) string  { return filepath.Join(dir, "journal.jsonl") }
+
+// openJournal opens (creating if needed) the state directory and returns the
+// append handle plus every recovered entry, snapshot first.
+func openJournal(dir string, every int) (*journal, []Entry, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("slurm: state dir: %w", err)
+	}
+	snap, err := readEntries(snapshotFile(dir))
+	if err != nil {
+		return nil, nil, err
+	}
+	tail, err := readEntries(journalFile(dir))
+	if err != nil {
+		return nil, nil, err
+	}
+	entries := append(snap, tail...)
+	w, err := acct.OpenAppend(journalFile(dir))
+	if err != nil {
+		return nil, nil, err
+	}
+	j := &journal{dir: dir, w: w, every: every, ops: len(tail)}
+	if len(entries) > 0 {
+		j.seq = entries[len(entries)-1].Seq
+	}
+	return j, entries, nil
+}
+
+// readEntries parses a JSONL entry file. A missing file yields no entries. A
+// malformed final line is a torn write from a crash mid-append and is
+// dropped; malformation anywhere else is corruption and errors out.
+func readEntries(path string) ([]Entry, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("slurm: open journal %s: %w", path, err)
+	}
+	defer f.Close()
+	var out []Entry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	torn := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if torn {
+			return nil, fmt.Errorf("slurm: journal %s: line %d: garbage before final line", path, lineNo-1)
+		}
+		var e Entry
+		if err := json.Unmarshal(line, &e); err != nil {
+			torn = true // legal only if this turns out to be the last line
+			continue
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("slurm: read journal %s: %w", path, err)
+	}
+	return out, nil
+}
+
+// append durably logs one entry, then compacts if the journal grew past the
+// snapshot threshold.
+func (j *journal) append(e Entry) error {
+	j.seq++
+	e.Seq = j.seq
+	if err := j.w.Append(e); err != nil {
+		return err
+	}
+	if err := j.w.Sync(); err != nil {
+		return err
+	}
+	j.ops++
+	if j.every > 0 && j.ops >= j.every {
+		return j.compact()
+	}
+	return nil
+}
+
+// compact folds the journal into the snapshot: write snapshot+journal to a
+// temp file, sync, atomically rename over the snapshot, then truncate the
+// journal. A crash at any point leaves a recoverable pair of files.
+func (j *journal) compact() error {
+	if err := j.w.Close(); err != nil {
+		return err
+	}
+	snap, err := os.ReadFile(snapshotFile(j.dir))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("slurm: compact: %w", err)
+	}
+	tail, err := os.ReadFile(journalFile(j.dir))
+	if err != nil {
+		return fmt.Errorf("slurm: compact: %w", err)
+	}
+	tmp := snapshotFile(j.dir) + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("slurm: compact: %w", err)
+	}
+	if _, err := f.Write(snap); err == nil {
+		_, err = f.Write(tail)
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("slurm: compact: %w", err)
+	}
+	if err := os.Rename(tmp, snapshotFile(j.dir)); err != nil {
+		return fmt.Errorf("slurm: compact: %w", err)
+	}
+	w, err := acct.Create(journalFile(j.dir)) // truncate
+	if err != nil {
+		return err
+	}
+	j.w = w
+	j.ops = 0
+	return nil
+}
+
+// close releases the append handle.
+func (j *journal) close() error { return j.w.Close() }

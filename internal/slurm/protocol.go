@@ -3,10 +3,12 @@ package slurm
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/des"
@@ -22,7 +24,8 @@ import (
 // Request is one client command.
 type Request struct {
 	// Op selects the operation: submit, cancel, queue, nodes, advance,
-	// drain, stats, now, config.
+	// drain, stats, now, config, requeue, drain_node, resume_node,
+	// down_node, up_node.
 	Op string `json:"op"`
 	// Submit arguments.
 	App      string  `json:"app,omitempty"`
@@ -56,14 +59,34 @@ type Response struct {
 	Policy  string          `json:"policy,omitempty"`
 }
 
+// Protocol hardening limits: a client that stops sending mid-line, never
+// reads its responses, or sends an unbounded line must not wedge the server
+// or eat its memory.
+const (
+	// MaxLine bounds one request or response line.
+	MaxLine = 1 << 20
+	// DefaultReadTimeout is how long a connection may sit idle (or dribble
+	// one request) before the server drops it.
+	DefaultReadTimeout = 5 * time.Minute
+	// DefaultWriteTimeout bounds writing one response.
+	DefaultWriteTimeout = 30 * time.Second
+)
+
 // Server serves the protocol for one controller.
 type Server struct {
 	ctl *Controller
+
+	// ReadTimeout and WriteTimeout override the per-request deadlines
+	// (zero selects the defaults). Set before Listen.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
 
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]bool
 	closed   bool
+	draining bool
+	inflight sync.WaitGroup
 }
 
 // NewServer wraps a controller.
@@ -111,10 +134,44 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
+	readTimeout := s.ReadTimeout
+	if readTimeout <= 0 {
+		readTimeout = DefaultReadTimeout
+	}
+	writeTimeout := s.WriteTimeout
+	if writeTimeout <= 0 {
+		writeTimeout = DefaultWriteTimeout
+	}
 	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	sc.Buffer(make([]byte, 0, 64*1024), MaxLine)
 	enc := json.NewEncoder(conn)
-	for sc.Scan() {
+	respond := func(resp Response) bool {
+		resp.Now = float64(s.ctl.Now())
+		conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+		return enc.Encode(resp) == nil
+	}
+	for {
+		conn.SetReadDeadline(time.Now().Add(readTimeout))
+		if !sc.Scan() {
+			// An over-long line is a client bug worth reporting before
+			// hanging up; everything else (EOF, timeout, shutdown) just
+			// closes the connection.
+			if errors.Is(sc.Err(), bufio.ErrTooLong) {
+				respond(Response{Error: fmt.Sprintf("request exceeds %d bytes", MaxLine)})
+			}
+			return
+		}
+		// Track the request so Shutdown can drain it; never start new work
+		// on a draining server.
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			respond(Response{Error: "server shutting down"})
+			return
+		}
+		s.inflight.Add(1)
+		s.mu.Unlock()
+
 		var req Request
 		var resp Response
 		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
@@ -122,8 +179,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		} else {
 			resp = s.handle(req)
 		}
-		resp.Now = float64(s.ctl.Now())
-		if err := enc.Encode(resp); err != nil {
+		ok := respond(resp)
+		s.inflight.Done()
+		if !ok {
 			return
 		}
 	}
@@ -165,6 +223,21 @@ func (s *Server) handle(req Request) Response {
 			return Response{Error: err.Error()}
 		}
 		return Response{OK: true}
+	case "requeue":
+		if err := s.ctl.Requeue(cluster.JobID(req.ID)); err != nil {
+			return Response{Error: err.Error()}
+		}
+		return Response{OK: true, ID: req.ID}
+	case "down_node":
+		if err := s.ctl.DownNode(req.Node); err != nil {
+			return Response{Error: err.Error()}
+		}
+		return Response{OK: true}
+	case "up_node":
+		if err := s.ctl.UpNode(req.Node); err != nil {
+			return Response{Error: err.Error()}
+		}
+		return Response{OK: true}
 	case "advance":
 		s.ctl.Advance(des.Duration(req.Seconds))
 		return Response{OK: true}
@@ -184,7 +257,8 @@ func (s *Server) handle(req Request) Response {
 	}
 }
 
-// Close stops the listener and open connections.
+// Close stops the listener and open connections immediately. In-flight
+// requests are abandoned; use Shutdown for a graceful stop.
 func (s *Server) Close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -195,6 +269,35 @@ func (s *Server) Close() {
 	for c := range s.conns {
 		c.Close()
 	}
+}
+
+// Shutdown stops the server gracefully: no new requests are accepted,
+// requests already being processed complete and their responses are written,
+// idle connections are dropped. It waits up to timeout for the in-flight
+// work, then closes everything.
+func (s *Server) Shutdown(timeout time.Duration) {
+	s.mu.Lock()
+	s.draining = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	// Zap read deadlines so idle readers wake up and observe draining;
+	// connections mid-request are past their Scan and unaffected.
+	for c := range s.conns {
+		c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+	}
+	s.Close()
 }
 
 // Client is a protocol client (the sbatch/squeue/sinfo tooling).
@@ -304,5 +407,23 @@ func (c *Client) DrainNode(ni int) error {
 // ResumeNode returns a drained node to service.
 func (c *Client) ResumeNode(ni int) error {
 	_, err := c.Do(Request{Op: "resume_node", Node: ni})
+	return err
+}
+
+// Requeue evicts a running job back to the queue (scontrol requeue).
+func (c *Client) Requeue(id int64) error {
+	_, err := c.Do(Request{Op: "requeue", ID: id})
+	return err
+}
+
+// DownNode forces a node down, evicting and requeueing its jobs.
+func (c *Client) DownNode(ni int) error {
+	_, err := c.Do(Request{Op: "down_node", Node: ni})
+	return err
+}
+
+// UpNode returns a down node to service.
+func (c *Client) UpNode(ni int) error {
+	_, err := c.Do(Request{Op: "up_node", Node: ni})
 	return err
 }
