@@ -14,6 +14,7 @@
 //	mini-slurm scontrol -addr 127.0.0.1:6818 -down 5        # then -up 5
 //	mini-slurm scontrol -addr 127.0.0.1:6818 -requeue 3
 //	mini-slurm stats  -addr 127.0.0.1:6818
+//	mini-slurm health -addr 127.0.0.1:6818               # ok|degraded|draining
 //
 // With -state, every accepted operation is appended to a write-ahead journal
 // before it is acknowledged; restarting with the same directory replays the
@@ -61,6 +62,8 @@ func main() {
 		err = stats(args)
 	case "scontrol":
 		err = scontrol(args)
+	case "health":
+		err = health(args)
 	default:
 		usage()
 	}
@@ -72,8 +75,29 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr,
-		`usage: mini-slurm <serve|sbatch|squeue|sinfo|scancel|scontrol|advance|drain|stats> [flags]`)
+		`usage: mini-slurm <serve|sbatch|squeue|sinfo|scancel|scontrol|advance|drain|stats|health> [flags]`)
 	os.Exit(2)
+}
+
+// health probes the controller's health verb, which bypasses admission
+// control — it answers even while the server is shedding load or draining.
+// Exits 0 only for "ok", so it slots directly into liveness checks.
+func health(args []string) error {
+	fs := flag.NewFlagSet("health", flag.ExitOnError)
+	cl, _, err := dial(fs, args)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	h, err := cl.Health()
+	if err != nil {
+		return err
+	}
+	fmt.Println(h)
+	if h != slurm.HealthOK {
+		os.Exit(1)
+	}
+	return nil
 }
 
 func scontrol(args []string) error {

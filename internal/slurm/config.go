@@ -17,6 +17,7 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/des"
@@ -44,6 +45,12 @@ type Config struct {
 	// Fault configures fault injection (populated from the Fault* keys);
 	// Enabled is derived: any positive failure rate turns it on.
 	Fault fault.Config
+	// Overload configures admission control and graceful degradation for
+	// the protocol server and controller (populated from MaxClientConns,
+	// MaxInflight, RateLimit*, Busy*, Breaker*, and HistoryLimit keys).
+	// The zero value disables every overload feature, keeping protocol
+	// behaviour and journal format byte-compatible with earlier releases.
+	Overload OverloadConfig
 }
 
 // Partition is a job partition with admission limits.
@@ -113,6 +120,23 @@ var nodeRangeRe = regexp.MustCompile(`^([a-zA-Z_-]*)\[(\d+)-(\d+)\]$`)
 //	FaultMaxRetries=<int>              (requeue budget before a job fails)
 //	FaultBackoff=<seconds>             (base requeue backoff, doubling)
 //	FaultSeed=<uint>                   (failure-trace RNG seed)
+//	MaxClientConns=<int>               (overload: concurrent connection cap;
+//	                                    0 = unlimited)
+//	MaxInflight=<int>                  (overload: concurrent in-flight
+//	                                    request cap; 0 = unlimited)
+//	RateLimitPerConn=<float>           (overload: per-connection requests
+//	                                    per second; 0 = unlimited)
+//	RateLimitBurst=<float>             (overload: token bucket depth)
+//	RateLimitControlCost=<float>       (overload: token cost of control
+//	                                    verbs; bulk verbs cost 1)
+//	BusyRetryAfter=<seconds>           (overload: retry-after hint attached
+//	                                    to BUSY load-shedding responses)
+//	BreakerThreshold=<int>             (overload: consecutive journal
+//	                                    failures that trip DEGRADED mode;
+//	                                    0 = breaker off)
+//	BreakerCooldown=<seconds>          (overload: tripped-to-half-open wait)
+//	HistoryLimit=<int>                 (overload: default cap on history
+//	                                    rows per queue reply; 0 = unlimited)
 func ParseConfig(r io.Reader) (Config, error) {
 	cfg := DefaultConfig()
 	cfg.Machine = cluster.Config{} // must come from NodeName
@@ -187,6 +211,28 @@ func ParseConfig(r io.Reader) (Config, error) {
 			cfg.Fault.Backoff = des.Duration(v)
 		case "FaultSeed":
 			cfg.Fault.Seed, err = strconv.ParseUint(strings.TrimSpace(rest), 10, 64)
+		case "MaxClientConns":
+			cfg.Overload.MaxConns, err = strconv.Atoi(strings.TrimSpace(rest))
+		case "MaxInflight":
+			cfg.Overload.MaxInflight, err = strconv.Atoi(strings.TrimSpace(rest))
+		case "RateLimitPerConn":
+			cfg.Overload.RateLimit, err = strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		case "RateLimitBurst":
+			cfg.Overload.RateBurst, err = strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		case "RateLimitControlCost":
+			cfg.Overload.ControlCost, err = strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		case "BusyRetryAfter":
+			var v float64
+			v, err = strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			cfg.Overload.RetryAfter = time.Duration(v * float64(time.Second))
+		case "BreakerThreshold":
+			cfg.Overload.BreakerThreshold, err = strconv.Atoi(strings.TrimSpace(rest))
+		case "BreakerCooldown":
+			var v float64
+			v, err = strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			cfg.Overload.BreakerCooldown = time.Duration(v * float64(time.Second))
+		case "HistoryLimit":
+			cfg.Overload.HistoryLimit, err = strconv.Atoi(strings.TrimSpace(rest))
 		default:
 			return Config{}, fmt.Errorf("slurm: line %d: unknown key %q", lineNo, key)
 		}
@@ -225,6 +271,9 @@ func (c Config) Validate() error {
 		return err
 	}
 	if err := c.Fault.Validate(); err != nil {
+		return err
+	}
+	if err := c.Overload.Validate(); err != nil {
 		return err
 	}
 	return nil

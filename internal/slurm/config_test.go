@@ -4,6 +4,7 @@ import (
 	"os"
 	"strings"
 	"testing"
+	"time"
 )
 
 const sampleConf = `
@@ -80,6 +81,56 @@ func TestParseConfigErrors(t *testing.T) {
 	}
 }
 
+func TestParseConfigOverload(t *testing.T) {
+	base := "NodeName=n[1-4] CPUs=8 ThreadsPerCore=2 RealMemory=1024\n"
+	cfg, err := ParseConfig(strings.NewReader(base +
+		"MaxClientConns=256\nMaxInflight=32\n" +
+		"RateLimitPerConn=100\nRateLimitBurst=10\nRateLimitControlCost=0.05\n" +
+		"BusyRetryAfter=0.25\nBreakerThreshold=5\nBreakerCooldown=10\nHistoryLimit=1000\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := cfg.Overload
+	if o.MaxConns != 256 || o.MaxInflight != 32 {
+		t.Errorf("conns/inflight = %d/%d", o.MaxConns, o.MaxInflight)
+	}
+	if o.RateLimit != 100 || o.RateBurst != 10 || o.ControlCost != 0.05 {
+		t.Errorf("rate limit = %+v", o)
+	}
+	if o.RetryAfter != 250*time.Millisecond {
+		t.Errorf("RetryAfter = %v", o.RetryAfter)
+	}
+	if o.BreakerThreshold != 5 || o.BreakerCooldown != 10*time.Second {
+		t.Errorf("breaker = %d/%v", o.BreakerThreshold, o.BreakerCooldown)
+	}
+	if o.HistoryLimit != 1000 {
+		t.Errorf("HistoryLimit = %d", o.HistoryLimit)
+	}
+	// Without any of the keys, the overload layer stays entirely disabled —
+	// the byte-compatibility guarantee hangs off this zero value.
+	plain, err := ParseConfig(strings.NewReader(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Overload != (OverloadConfig{}) {
+		t.Errorf("overload defaults non-zero: %+v", plain.Overload)
+	}
+
+	for name, input := range map[string]string{
+		"neg conns":        base + "MaxClientConns=-1\n",
+		"neg inflight":     base + "MaxInflight=-2\n",
+		"neg rate":         base + "RateLimitPerConn=-3\n",
+		"big control cost": base + "RateLimitControlCost=2.5\n",
+		"neg retry after":  base + "BusyRetryAfter=-0.5\n",
+		"neg threshold":    base + "BreakerThreshold=-1\n",
+		"neg history":      base + "HistoryLimit=-10\n",
+	} {
+		if _, err := ParseConfig(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
 func TestParseConfigSingleNode(t *testing.T) {
 	cfg, err := ParseConfig(strings.NewReader(
 		"NodeName=login CPUs=4 ThreadsPerCore=1 RealMemory=2048\n"))
@@ -130,5 +181,27 @@ func TestShippedTrinityConfig(t *testing.T) {
 	}
 	if _, err := NewController(cfg); err != nil {
 		t.Fatalf("shipped config cannot boot: %v", err)
+	}
+}
+
+// The shipped overload configuration enables every protection knob and
+// still boots.
+func TestShippedOverloadConfig(t *testing.T) {
+	f, err := os.Open("../../configs/trinity-overload.conf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	cfg, err := ParseConfig(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := cfg.Overload
+	if o.MaxConns == 0 || o.MaxInflight == 0 || o.RateLimit == 0 ||
+		o.BreakerThreshold == 0 || o.HistoryLimit == 0 {
+		t.Fatalf("shipped overload config leaves protections disabled: %+v", o)
+	}
+	if _, err := NewController(cfg); err != nil {
+		t.Fatalf("shipped overload config cannot boot: %v", err)
 	}
 }

@@ -36,6 +36,14 @@ type Controller struct {
 	finSeen  int
 	killSeen int
 	rejSeen  int
+
+	// tokens maps client-supplied submit idempotency tokens to the job ID
+	// they created. Tokens ride in the journal's submit entries, so the
+	// dedupe map survives crash recovery.
+	tokens map[string]cluster.JobID
+	// br is the journal circuit breaker (nil when disabled): consecutive
+	// append failures trip the controller into read-only DEGRADED mode.
+	br *breaker
 }
 
 // NewController builds a controller from a validated configuration.
@@ -65,7 +73,11 @@ func NewController(cfg Config) (*Controller, error) {
 	} else {
 		engine.SetQueueOrder(cfg.Priority.Less(engine.Now, cfg.Machine.Nodes))
 	}
-	return &Controller{cfg: cfg, sys: sys}, nil
+	c := &Controller{cfg: cfg, sys: sys, tokens: make(map[string]cluster.JobID)}
+	if cfg.Overload.BreakerThreshold > 0 {
+		c.br = newBreaker(cfg.Overload.BreakerThreshold, cfg.Overload.BreakerCooldown)
+	}
+	return c, nil
 }
 
 // OpenJournaled builds a controller whose state survives crashes: every
@@ -117,6 +129,11 @@ func (c *Controller) replay(entries []Entry) error {
 			if err == nil && int64(id) != e.ID {
 				err = fmt.Errorf("job ID diverged: got %d, journal has %d", id, e.ID)
 			}
+			if err == nil && e.Token != "" {
+				// Restore the idempotency mapping: a retried submit after
+				// recovery must dedupe exactly as before the crash.
+				c.tokens[e.Token] = id
+			}
 		case "cancel":
 			err = c.sys.Engine().CancelPending(cluster.JobID(e.ID))
 		case "advance":
@@ -143,16 +160,50 @@ func (c *Controller) replay(entries []Entry) error {
 	return nil
 }
 
+// ErrDegraded is returned for mutations while the journal circuit breaker
+// is tripped: the controller cannot make writes durable, so it serves
+// queries only rather than acknowledging work it could lose.
+var ErrDegraded = fmt.Errorf("slurm: controller degraded (journal unavailable), mutations rejected")
+
+// checkWritable gates mutations on the circuit breaker. Callers hold c.mu.
+func (c *Controller) checkWritable() error {
+	if c.br != nil && !c.br.writable() {
+		return ErrDegraded
+	}
+	return nil
+}
+
+// Health reports the controller's health: "degraded" while the journal
+// breaker is tripped, "ok" otherwise. (The protocol server layers
+// "draining" on top during shutdown.)
+func (c *Controller) Health() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.br != nil && c.br.degraded() {
+		return HealthDegraded
+	}
+	return HealthOK
+}
+
 // log appends one operation entry plus audit records for any completions it
-// caused. Callers hold c.mu. A nil journal makes it a no-op.
+// caused, feeding the circuit breaker with the outcome. Callers hold c.mu.
+// A nil journal makes it a no-op.
 func (c *Controller) log(e Entry) error {
 	if c.jr == nil {
 		return nil
 	}
-	if err := c.jr.append(e); err != nil {
-		return err
+	err := c.jr.append(e)
+	if err == nil {
+		err = c.auditCompletions()
 	}
-	return c.auditCompletions()
+	if c.br != nil {
+		if err != nil {
+			c.br.failure()
+		} else {
+			c.br.success()
+		}
+	}
+	return err
 }
 
 // auditCompletions journals an acct.Record for every job that reached a
@@ -202,8 +253,25 @@ func (c *Controller) Now() des.Time {
 // enforced here, as slurmctld does at submission. Optional dependency IDs
 // implement sbatch --dependency=afterok.
 func (c *Controller) Submit(appName string, nodes int, wall, runtime des.Duration, name string, after ...cluster.JobID) (cluster.JobID, error) {
+	return c.SubmitToken("", appName, nodes, wall, runtime, name, after...)
+}
+
+// SubmitToken is Submit with a client-supplied idempotency token. A repeat
+// of an already-accepted token returns the original job's ID without
+// enqueueing anything, so a client whose submit response was lost can retry
+// safely. The token is journaled with the submit entry, making the dedupe
+// durable across crash recovery.
+func (c *Controller) SubmitToken(token, appName string, nodes int, wall, runtime des.Duration, name string, after ...cluster.JobID) (cluster.JobID, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if token != "" {
+		if id, ok := c.tokens[token]; ok {
+			return id, nil
+		}
+	}
+	if err := c.checkWritable(); err != nil {
+		return cluster.NoJob, err
+	}
 	id, err := c.applySubmit(appName, nodes, wall, runtime, name, after)
 	if err != nil {
 		return cluster.NoJob, err
@@ -214,8 +282,11 @@ func (c *Controller) Submit(appName string, nodes int, wall, runtime des.Duratio
 	}
 	if err := c.log(Entry{Op: "submit", App: appName, Nodes: nodes,
 		Walltime: float64(wall), Runtime: float64(runtime), Name: name,
-		After: deps, ID: int64(id)}); err != nil {
+		After: deps, ID: int64(id), Token: token}); err != nil {
 		return id, err
+	}
+	if token != "" {
+		c.tokens[token] = id
 	}
 	return id, nil
 }
@@ -250,6 +321,9 @@ func (c *Controller) applySubmit(appName string, nodes int, wall, runtime des.Du
 func (c *Controller) Cancel(id cluster.JobID) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.checkWritable(); err != nil {
+		return err
+	}
 	if err := c.sys.Engine().CancelPending(id); err != nil {
 		return err
 	}
@@ -259,14 +333,24 @@ func (c *Controller) Cancel(id cluster.JobID) error {
 // Advance moves the simulated clock forward by d, executing every event in
 // the window.
 func (c *Controller) Advance(d des.Duration) des.Time {
+	now, _ := c.AdvanceChecked(d)
+	return now
+}
+
+// AdvanceChecked is Advance with durability errors surfaced: it rejects
+// while the controller is DEGRADED and reports a failed journal append.
+func (c *Controller) AdvanceChecked(d des.Duration) (des.Time, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.checkWritable(); err != nil {
+		return c.sys.Now(), err
+	}
 	if d < 0 {
-		return c.sys.Now()
+		return c.sys.Now(), nil
 	}
 	c.applyAdvance(d)
-	c.log(Entry{Op: "advance", Seconds: float64(d)})
-	return c.sys.Now()
+	err := c.log(Entry{Op: "advance", Seconds: float64(d)})
+	return c.sys.Now(), err
 }
 
 func (c *Controller) applyAdvance(d des.Duration) {
@@ -275,11 +359,20 @@ func (c *Controller) applyAdvance(d des.Duration) {
 
 // Drain runs the simulation until all submitted work completes.
 func (c *Controller) Drain() des.Time {
+	now, _ := c.DrainChecked()
+	return now
+}
+
+// DrainChecked is Drain with durability errors surfaced, as AdvanceChecked.
+func (c *Controller) DrainChecked() (des.Time, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.checkWritable(); err != nil {
+		return c.sys.Now(), err
+	}
 	c.sys.Run()
-	c.log(Entry{Op: "drain"})
-	return c.sys.Now()
+	err := c.log(Entry{Op: "drain"})
+	return c.sys.Now(), err
 }
 
 // Requeue evicts a running job and returns it to the queue — scontrol
@@ -288,6 +381,9 @@ func (c *Controller) Drain() des.Time {
 func (c *Controller) Requeue(id cluster.JobID) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.checkWritable(); err != nil {
+		return err
+	}
 	if err := c.applyRequeue(id); err != nil {
 		return err
 	}
@@ -307,6 +403,9 @@ func (c *Controller) applyRequeue(id cluster.JobID) error {
 func (c *Controller) DownNode(ni int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.checkWritable(); err != nil {
+		return err
+	}
 	if err := c.applyDownNode(ni); err != nil {
 		return err
 	}
@@ -326,6 +425,9 @@ func (c *Controller) applyDownNode(ni int) error {
 func (c *Controller) UpNode(ni int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.checkWritable(); err != nil {
+		return err
+	}
 	if err := c.applyUpNode(ni); err != nil {
 		return err
 	}
@@ -352,6 +454,9 @@ func (c *Controller) Stats() metrics.Result {
 func (c *Controller) DrainNode(ni int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.checkWritable(); err != nil {
+		return err
+	}
 	if err := c.applyDrainNode(ni); err != nil {
 		return err
 	}
@@ -372,6 +477,9 @@ func (c *Controller) applyDrainNode(ni int) error {
 func (c *Controller) ResumeNode(ni int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.checkWritable(); err != nil {
+		return err
+	}
 	if err := c.applyResumeNode(ni); err != nil {
 		return err
 	}

@@ -22,6 +22,16 @@ func FuzzParseConfig(f *testing.F) {
 	f.Add("NodeName=n CPUs=2 ThreadsPerCore=1 RealMemory=64\nJobCrashProb=1.5\n")
 	f.Add("NodeName=n CPUs=2 ThreadsPerCore=1 RealMemory=64\nFaultMTBF=100\nFaultMTTR=0\n")
 	f.Add("NodeName=n CPUs=2 ThreadsPerCore=1 RealMemory=64\nFaultSeed=18446744073709551615\n")
+	f.Add("NodeName=n[1-4] CPUs=8 ThreadsPerCore=2 RealMemory=1024\n" +
+		"MaxClientConns=256\nMaxInflight=32\nRateLimitPerConn=100\nRateLimitBurst=10\n" +
+		"RateLimitControlCost=0.1\nBusyRetryAfter=0.25\n" +
+		"BreakerThreshold=5\nBreakerCooldown=5\nHistoryLimit=1000\n")
+	f.Add("NodeName=n CPUs=2 ThreadsPerCore=1 RealMemory=64\nMaxClientConns=-1\n")
+	f.Add("NodeName=n CPUs=2 ThreadsPerCore=1 RealMemory=64\nRateLimitPerConn=-3\n")
+	f.Add("NodeName=n CPUs=2 ThreadsPerCore=1 RealMemory=64\nRateLimitControlCost=2.5\n")
+	f.Add("NodeName=n CPUs=2 ThreadsPerCore=1 RealMemory=64\nBusyRetryAfter=-0.5\n")
+	f.Add("NodeName=n CPUs=2 ThreadsPerCore=1 RealMemory=64\nBreakerThreshold=1\nBreakerCooldown=0\n")
+	f.Add("NodeName=n CPUs=2 ThreadsPerCore=1 RealMemory=64\nHistoryLimit=9999999999999999999999\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		cfg, err := ParseConfig(strings.NewReader(input))
 		if err != nil {

@@ -3,6 +3,7 @@ package slurm
 import (
 	"bufio"
 	"net"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -129,12 +130,23 @@ func TestServerReadTimeout(t *testing.T) {
 	}
 }
 
-// TestServerGracefulShutdown: Shutdown drains cleanly; afterwards new
-// requests fail rather than hang.
+// TestServerGracefulShutdown: Shutdown drains cleanly — the accept loop and
+// every per-connection goroutine exit — and afterwards new requests fail
+// rather than hang.
 func TestServerGracefulShutdown(t *testing.T) {
+	before := runtime.NumGoroutine()
 	cl, srv := startServer(t)
 	if _, err := cl.Submit("minife", 1, 1800, 900, "pre"); err != nil {
 		t.Fatal(err)
+	}
+	// A handful of extra idle connections: Shutdown must reap their serve
+	// goroutines too, not just the accept loop.
+	for i := 0; i < 4; i++ {
+		extra, err := Dial(cl.conn.RemoteAddr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer extra.Close()
 	}
 	done := make(chan struct{})
 	go func() {
@@ -154,4 +166,7 @@ func TestServerGracefulShutdown(t *testing.T) {
 		// it must fail.
 		t.Log("dial after shutdown accepted by OS backlog; tolerated")
 	}
+	// No server goroutine may survive Shutdown (the client-side conns held
+	// by this test have no goroutines of their own).
+	waitGoroutines(t, before+1)
 }

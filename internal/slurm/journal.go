@@ -40,6 +40,9 @@ type Entry struct {
 	ID       int64   `json:"id,omitempty"`
 	Seconds  float64 `json:"seconds,omitempty"`
 	Node     int     `json:"node,omitempty"`
+	// Token is the submit idempotency token (empty when the client sent
+	// none); journaling it makes submit dedupe survive crash recovery.
+	Token string `json:"token,omitempty"`
 	// Record is the audit payload of a completion entry.
 	Record *acct.Record `json:"record,omitempty"`
 }
@@ -52,6 +55,11 @@ type journal struct {
 	seq   int64
 	every int // compact after this many appends (0 = never)
 	ops   int // appends since the last compaction
+
+	// testAppendErr, when set, is consulted before each append; a non-nil
+	// return aborts the append with that error. Tests use it to simulate a
+	// failing fsync path and exercise the circuit breaker.
+	testAppendErr func(Entry) error
 }
 
 func snapshotFile(dir string) string { return filepath.Join(dir, "snapshot.jsonl") }
@@ -125,6 +133,11 @@ func readEntries(path string) ([]Entry, error) {
 // append durably logs one entry, then compacts if the journal grew past the
 // snapshot threshold.
 func (j *journal) append(e Entry) error {
+	if j.testAppendErr != nil {
+		if err := j.testAppendErr(e); err != nil {
+			return err
+		}
+	}
 	j.seq++
 	e.Seq = j.seq
 	if err := j.w.Append(e); err != nil {

@@ -25,7 +25,7 @@ import (
 type Request struct {
 	// Op selects the operation: submit, cancel, queue, nodes, advance,
 	// drain, stats, now, config, requeue, drain_node, resume_node,
-	// down_node, up_node.
+	// down_node, up_node, health.
 	Op string `json:"op"`
 	// Submit arguments.
 	App      string  `json:"app,omitempty"`
@@ -43,6 +43,13 @@ type Request struct {
 	After []int64 `json:"after,omitempty"`
 	// Queue argument: include finished jobs.
 	History bool `json:"history,omitempty"`
+	// Token is the client-supplied idempotency token for submit: the
+	// controller journals it and dedupes repeats, so a retried submit
+	// whose first response was lost never double-enqueues.
+	Token string `json:"token,omitempty"`
+	// Limit and Offset paginate queue replies (0 limit = server default).
+	Limit  int `json:"limit,omitempty"`
+	Offset int `json:"offset,omitempty"`
 }
 
 // Response is one server reply.
@@ -57,6 +64,13 @@ type Response struct {
 	Stats   *metrics.Result `json:"stats,omitempty"`
 	Cluster string          `json:"cluster,omitempty"`
 	Policy  string          `json:"policy,omitempty"`
+	// Health is the health-verb payload: ok | degraded | draining.
+	Health string `json:"health,omitempty"`
+	// Busy marks a shed request; RetryAfterMS hints when to retry.
+	Busy         bool  `json:"busy,omitempty"`
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+	// Total is the pre-pagination row count of a paginated queue reply.
+	Total int `json:"total,omitempty"`
 }
 
 // Protocol hardening limits: a client that stops sending mid-line, never
@@ -81,17 +95,37 @@ type Server struct {
 	ReadTimeout  time.Duration
 	WriteTimeout time.Duration
 
+	// over is the admission-control configuration, taken from the
+	// controller's Config; sem is the bounded in-flight queue (nil when
+	// unlimited); now is injectable for deterministic bucket tests.
+	over OverloadConfig
+	sem  chan struct{}
+	now  func() time.Time
+
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]bool
 	closed   bool
 	draining bool
 	inflight sync.WaitGroup
+	// wg tracks the accept loop and every per-connection goroutine so
+	// Shutdown can wait for all of them to exit (no goroutine leaks).
+	wg sync.WaitGroup
 }
 
-// NewServer wraps a controller.
+// NewServer wraps a controller. Admission control follows the controller
+// configuration's Overload section; the zero OverloadConfig disables it.
 func NewServer(ctl *Controller) *Server {
-	return &Server{ctl: ctl, conns: make(map[net.Conn]bool)}
+	s := &Server{
+		ctl:   ctl,
+		conns: make(map[net.Conn]bool),
+		over:  ctl.Config().Overload,
+		now:   time.Now,
+	}
+	if s.over.MaxInflight > 0 {
+		s.sem = make(chan struct{}, s.over.MaxInflight)
+	}
+	return s
 }
 
 // Listen starts accepting on addr ("host:port"; ":0" picks a free port) and
@@ -105,7 +139,11 @@ func (s *Server) Listen(addr string) (string, error) {
 	s.mu.Lock()
 	s.listener = l
 	s.mu.Unlock()
-	go s.acceptLoop(l)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.acceptLoop(l)
+	}()
 	return l.Addr().String(), nil
 }
 
@@ -121,10 +159,40 @@ func (s *Server) acceptLoop(l net.Listener) {
 			conn.Close()
 			return
 		}
+		if s.over.MaxConns > 0 && len(s.conns) >= s.over.MaxConns {
+			s.mu.Unlock()
+			// Over the connection cap: tell the client once, then hang
+			// up. Done off the accept loop so a slow peer cannot stall
+			// admission of others.
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.rejectConn(conn)
+			}()
+			continue
+		}
 		s.conns[conn] = true
 		s.mu.Unlock()
-		go s.serveConn(conn)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
 	}
+}
+
+// rejectConn answers one over-cap connection with a BUSY response and
+// closes it.
+func (s *Server) rejectConn(conn net.Conn) {
+	defer conn.Close()
+	writeTimeout := s.WriteTimeout
+	if writeTimeout <= 0 {
+		writeTimeout = DefaultWriteTimeout
+	}
+	resp := s.over.busyResponse(0)
+	resp.Now = float64(s.ctl.Now())
+	conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+	json.NewEncoder(conn).Encode(resp)
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -141,6 +209,10 @@ func (s *Server) serveConn(conn net.Conn) {
 	writeTimeout := s.WriteTimeout
 	if writeTimeout <= 0 {
 		writeTimeout = DefaultWriteTimeout
+	}
+	var bucket *tokenBucket
+	if s.over.RateLimit > 0 {
+		bucket = newTokenBucket(s.over.RateLimit, s.over.RateBurst, s.now())
 	}
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 64*1024), MaxLine)
@@ -161,6 +233,26 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
+		var req Request
+		parseErr := json.Unmarshal(sc.Bytes(), &req)
+
+		// health bypasses admission control entirely: a liveness probe
+		// must answer while everything else is being shed, and still
+		// answers (reporting "draining") during shutdown.
+		if parseErr == nil && req.Op == "health" {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			h := s.ctl.Health()
+			if draining {
+				h = HealthDraining
+			}
+			if !respond(Response{OK: true, Health: h}) || draining {
+				return
+			}
+			continue
+		}
+
 		// Track the request so Shutdown can drain it; never start new work
 		// on a draining server.
 		s.mu.Lock()
@@ -172,12 +264,16 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.inflight.Add(1)
 		s.mu.Unlock()
 
-		var req Request
 		var resp Response
-		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
-			resp = Response{Error: fmt.Sprintf("bad request: %v", err)}
+		if parseErr != nil {
+			// Malformed lines are charged like bulk requests so a
+			// garbage-spraying client cannot dodge the limiter.
+			if bucket != nil {
+				bucket.take(1, s.now())
+			}
+			resp = Response{Error: fmt.Sprintf("bad request: %v", parseErr)}
 		} else {
-			resp = s.handle(req)
+			resp = s.admit(req, bucket)
 		}
 		ok := respond(resp)
 		s.inflight.Done()
@@ -187,6 +283,25 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
+// admit applies rate limiting and the in-flight bound, then dispatches.
+// Shed requests get a BUSY response without touching the controller.
+func (s *Server) admit(req Request, bucket *tokenBucket) Response {
+	if bucket != nil {
+		if ok, wait := bucket.take(verbCost(req.Op, s.over.ControlCost), s.now()); !ok {
+			return s.over.busyResponse(wait)
+		}
+	}
+	if s.sem != nil {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			return s.over.busyResponse(0)
+		}
+	}
+	return s.handle(req)
+}
+
 func (s *Server) handle(req Request) Response {
 	switch req.Op {
 	case "submit":
@@ -194,7 +309,7 @@ func (s *Server) handle(req Request) Response {
 		for i, a := range req.After {
 			after[i] = cluster.JobID(a)
 		}
-		id, err := s.ctl.Submit(req.App, req.Nodes,
+		id, err := s.ctl.SubmitToken(req.Token, req.App, req.Nodes,
 			des.Duration(req.Walltime), des.Duration(req.Runtime), req.Name, after...)
 		if err != nil {
 			return Response{Error: err.Error()}
@@ -210,7 +325,7 @@ func (s *Server) handle(req Request) Response {
 		if req.History {
 			jobs = append(jobs, s.ctl.History()...)
 		}
-		return Response{OK: true, Jobs: jobs}
+		return paginate(jobs, req, s.over)
 	case "nodes":
 		return Response{OK: true, Nodes: s.ctl.Nodes()}
 	case "drain_node":
@@ -239,22 +354,55 @@ func (s *Server) handle(req Request) Response {
 		}
 		return Response{OK: true}
 	case "advance":
-		s.ctl.Advance(des.Duration(req.Seconds))
+		if _, err := s.ctl.AdvanceChecked(des.Duration(req.Seconds)); err != nil {
+			return Response{Error: err.Error()}
+		}
 		return Response{OK: true}
 	case "drain":
-		s.ctl.Drain()
+		if _, err := s.ctl.DrainChecked(); err != nil {
+			return Response{Error: err.Error()}
+		}
 		return Response{OK: true}
 	case "stats":
 		st := s.ctl.Stats()
 		return Response{OK: true, Stats: &st}
 	case "now":
 		return Response{OK: true}
+	case "health":
+		return Response{OK: true, Health: s.ctl.Health()}
 	case "config":
 		cfg := s.ctl.Config()
 		return Response{OK: true, Cluster: cfg.ClusterName, Policy: cfg.Policy}
 	default:
 		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}
+}
+
+// paginate bounds one queue reply. Without explicit Limit/Offset and with
+// no configured HistoryLimit the reply is unchanged (and Total omitted),
+// keeping legacy responses byte-identical.
+func paginate(jobs []JobInfo, req Request, over OverloadConfig) Response {
+	limit := req.Limit
+	explicit := req.Limit > 0 || req.Offset > 0
+	if limit <= 0 && req.History {
+		limit = over.HistoryLimit
+	}
+	if !explicit && (limit <= 0 || len(jobs) <= limit) {
+		return Response{OK: true, Jobs: jobs}
+	}
+	total := len(jobs)
+	off := req.Offset
+	if off < 0 {
+		off = 0
+	}
+	if off > total {
+		off = total
+	}
+	jobs = jobs[off:]
+	if limit > 0 && len(jobs) > limit {
+		jobs = jobs[:limit]
+	}
+	return Response{OK: true, Jobs: jobs, Total: total}
 }
 
 // Close stops the listener and open connections immediately. In-flight
@@ -274,7 +422,9 @@ func (s *Server) Close() {
 // Shutdown stops the server gracefully: no new requests are accepted,
 // requests already being processed complete and their responses are written,
 // idle connections are dropped. It waits up to timeout for the in-flight
-// work, then closes everything.
+// work, closes everything, then waits for the accept loop and every
+// connection goroutine to exit — after Shutdown returns, the server has
+// leaked nothing.
 func (s *Server) Shutdown(timeout time.Duration) {
 	s.mu.Lock()
 	s.draining = true
@@ -298,6 +448,7 @@ func (s *Server) Shutdown(timeout time.Duration) {
 	case <-time.After(timeout):
 	}
 	s.Close()
+	s.wg.Wait()
 }
 
 // Client is a protocol client (the sbatch/squeue/sinfo tooling).
@@ -305,6 +456,13 @@ type Client struct {
 	conn net.Conn
 	sc   *bufio.Scanner
 	enc  *json.Encoder
+	addr string
+
+	// Retry, when set, makes Do resilient: BUSY responses are retried
+	// after a jittered backoff that honors the server's retry-after hint,
+	// and transport failures on idempotent requests (reads, or submits
+	// carrying a Token) redial and retry. Nil keeps the one-shot behavior.
+	Retry *RetryPolicy
 }
 
 // Dial connects to a server.
@@ -313,16 +471,90 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("slurm: dial %s: %w", addr, err)
 	}
+	c := &Client{addr: addr}
+	c.attach(conn)
+	return c, nil
+}
+
+// DialRetry connects with the default retry policy, seeding the backoff
+// jitter stream from seed.
+func DialRetry(addr string, seed uint64) (*Client, error) {
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	c.Retry = DefaultRetryPolicy(seed)
+	return c, nil
+}
+
+func (c *Client) attach(conn net.Conn) {
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	return &Client{conn: conn, sc: sc, enc: json.NewEncoder(conn)}, nil
+	c.conn, c.sc, c.enc = conn, sc, json.NewEncoder(conn)
+}
+
+// redial replaces a broken connection.
+func (c *Client) redial() error {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return fmt.Errorf("slurm: redial %s: %w", c.addr, err)
+	}
+	c.attach(conn)
+	return nil
 }
 
 // Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	if c.conn == nil {
+		return nil
+	}
+	return c.conn.Close()
+}
 
-// Do sends one request and reads one response.
+// Do sends one request and reads one response. With a Retry policy set it
+// transparently retries shed (BUSY) requests, and — for idempotent
+// requests — transport failures, reconnecting as needed.
 func (c *Client) Do(req Request) (Response, error) {
+	resp, err := c.do1(req)
+	if err == nil || c.Retry == nil {
+		return resp, err
+	}
+	for attempt := 0; attempt < c.Retry.MaxAttempts-1; attempt++ {
+		var retryAfter time.Duration
+		var busy *BusyError
+		switch {
+		case errors.As(err, &busy):
+			retryAfter = busy.RetryAfter
+		case isTransportError(err) && idempotentRequest(req):
+			// The connection is suspect; rebuild it. A failed redial is
+			// itself retried on the next loop iteration.
+			if rerr := c.redial(); rerr != nil {
+				err = rerr
+				c.Retry.sleep(c.Retry.Delay(attempt, 0))
+				continue
+			}
+		default:
+			return resp, err // application error: not retryable
+		}
+		c.Retry.sleep(c.Retry.Delay(attempt, retryAfter))
+		resp, err = c.do1(req)
+		if err == nil {
+			return resp, nil
+		}
+	}
+	return resp, err
+}
+
+func (c *Client) do1(req Request) (Response, error) {
+	if c.conn == nil {
+		if err := c.redial(); err != nil {
+			return Response{}, err
+		}
+	}
 	if err := c.enc.Encode(req); err != nil {
 		return Response{}, fmt.Errorf("slurm: send: %w", err)
 	}
@@ -336,16 +568,42 @@ func (c *Client) Do(req Request) (Response, error) {
 	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
 		return Response{}, fmt.Errorf("slurm: decode: %w", err)
 	}
+	if resp.Busy {
+		return resp, &BusyError{RetryAfter: time.Duration(resp.RetryAfterMS) * time.Millisecond}
+	}
 	if resp.Error != "" {
 		return resp, fmt.Errorf("slurm: server: %s", resp.Error)
 	}
 	return resp, nil
 }
 
+// isTransportError reports whether err is a connection-level failure (as
+// opposed to a structured server error).
+func isTransportError(err error) bool {
+	if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+		return true
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) {
+		return true
+	}
+	var oerr *net.OpError
+	return errors.As(err, &oerr)
+}
+
 // Submit submits a job and returns its ID. Optional dependency IDs
 // implement sbatch --dependency=afterok.
 func (c *Client) Submit(app string, nodes int, wall, runtime des.Duration, name string, after ...int64) (int64, error) {
 	resp, err := c.Do(Request{Op: "submit", App: app, Nodes: nodes,
+		Walltime: float64(wall), Runtime: float64(runtime), Name: name, After: after})
+	return resp.ID, err
+}
+
+// SubmitToken submits with a client-supplied idempotency token: the server
+// dedupes repeats of the same token, so retrying after a lost response is
+// safe (the original job's ID comes back instead of a duplicate job).
+func (c *Client) SubmitToken(token, app string, nodes int, wall, runtime des.Duration, name string, after ...int64) (int64, error) {
+	resp, err := c.Do(Request{Op: "submit", Token: token, App: app, Nodes: nodes,
 		Walltime: float64(wall), Runtime: float64(runtime), Name: name, After: after})
 	return resp.ID, err
 }
@@ -360,6 +618,23 @@ func (c *Client) Cancel(id int64) error {
 func (c *Client) Queue(history bool) ([]JobInfo, error) {
 	resp, err := c.Do(Request{Op: "queue", History: history})
 	return resp.Jobs, err
+}
+
+// QueuePage lists jobs with explicit pagination and returns the page plus
+// the total row count before slicing.
+func (c *Client) QueuePage(history bool, limit, offset int) ([]JobInfo, int, error) {
+	resp, err := c.Do(Request{Op: "queue", History: history, Limit: limit, Offset: offset})
+	total := resp.Total
+	if total == 0 && err == nil {
+		total = len(resp.Jobs)
+	}
+	return resp.Jobs, total, err
+}
+
+// Health asks the server for its health state: ok | degraded | draining.
+func (c *Client) Health() (string, error) {
+	resp, err := c.Do(Request{Op: "health"})
+	return resp.Health, err
 }
 
 // Nodes lists node states.
