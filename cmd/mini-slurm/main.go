@@ -14,11 +14,21 @@
 //	mini-slurm scontrol -addr 127.0.0.1:6818 -down 5        # then -up 5
 //	mini-slurm scontrol -addr 127.0.0.1:6818 -requeue 3
 //	mini-slurm stats  -addr 127.0.0.1:6818
-//	mini-slurm health -addr 127.0.0.1:6818               # ok|degraded|draining
+//	mini-slurm health -addr 127.0.0.1:6818        # ok|degraded|draining|fenced
 //
 // With -state, every accepted operation is appended to a write-ahead journal
 // before it is acknowledged; restarting with the same directory replays the
 // journal and resumes from the identical queue, node, and clock state.
+//
+// High availability: run a pair of daemons, the primary pushing its journal
+// to a warm standby (see DESIGN.md §9). Client subcommands accept a
+// comma-separated -addr list and fail over to the next endpoint when the
+// node they reached cannot serve them:
+//
+//	mini-slurm serve -state /srv/a -addr :6818 -replica 127.0.0.1:6819 &
+//	mini-slurm serve -state /srv/b -addr :6819 -standby-of 127.0.0.1:6818 &
+//	mini-slurm sbatch -addr 127.0.0.1:6818,127.0.0.1:6819 -app minife -nodes 4 -time 7200
+//	mini-slurm health -addr 127.0.0.1:6819        # ok role=standby epoch=1
 package main
 
 import (
@@ -89,11 +99,15 @@ func health(args []string) error {
 		return err
 	}
 	defer cl.Close()
-	h, err := cl.Health()
+	h, role, epoch, err := cl.HealthInfo()
 	if err != nil {
 		return err
 	}
-	fmt.Println(h)
+	if role != "" {
+		fmt.Printf("%s role=%s epoch=%d\n", h, role, epoch)
+	} else {
+		fmt.Println(h)
+	}
 	if h != slurm.HealthOK {
 		os.Exit(1)
 	}
@@ -150,6 +164,9 @@ func serve(args []string) error {
 	addr := fs.String("addr", defaultAddr, "listen address")
 	state := fs.String("state", "", "state directory for the write-ahead journal (enables crash recovery)")
 	snapEvery := fs.Int("snapshot-every", 256, "journal appends between snapshot compactions (with -state)")
+	replica := fs.String("replica", "", "standby address to replicate the journal to (run as HA primary; overrides ReplicaAddr)")
+	standbyOf := fs.String("standby-of", "", "primary address to follow as a warm standby (promotes on lease expiry)")
+	lease := fs.Duration("lease", 0, "HA failover lease (default 3s; overrides HALeaseSeconds)")
 	fs.Parse(args)
 
 	cfg := slurm.DefaultConfig()
@@ -178,6 +195,31 @@ func serve(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Only the flags conflict: a conf ReplicaAddr names the pair's standby,
+	// and the standby itself overrides it with -standby-of when both nodes
+	// share one config file.
+	if *standbyOf != "" && *replica != "" {
+		ctl.Close()
+		return fmt.Errorf("serve: -standby-of and -replica are mutually exclusive")
+	}
+	ha := slurm.HAOptions{Lease: cfg.HA.Lease, Heartbeat: cfg.HA.Heartbeat}
+	if *lease > 0 {
+		ha.Lease = *lease
+	}
+	switch {
+	case *standbyOf != "":
+		ha.Standby, ha.Peer = true, *standbyOf
+	case *replica != "":
+		ha.Peer = *replica
+	case cfg.HA.Replica != "":
+		ha.Peer = cfg.HA.Replica
+	}
+	if ha.Peer != "" {
+		if err := ctl.StartHA(ha); err != nil {
+			ctl.Close()
+			return err
+		}
+	}
 	srv := slurm.NewServer(ctl)
 	bound, err := srv.Listen(*addr)
 	if err != nil {
@@ -188,6 +230,13 @@ func serve(args []string) error {
 	if *state != "" {
 		fmt.Printf("mini-slurm: journaling to %s (clock %s after replay)\n", *state, ctl.Now())
 	}
+	if ha.Peer != "" {
+		role := "primary, replicating to"
+		if ha.Standby {
+			role = "standby, following"
+		}
+		fmt.Printf("mini-slurm: HA %s %s\n", role, ha.Peer)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -197,9 +246,12 @@ func serve(args []string) error {
 }
 
 func dial(fs *flag.FlagSet, args []string) (*slurm.Client, *flag.FlagSet, error) {
-	addr := fs.String("addr", defaultAddr, "controller address")
+	addr := fs.String("addr", defaultAddr,
+		"controller address, or comma-separated list for an HA pair (first healthy wins)")
 	fs.Parse(args)
-	cl, err := slurm.Dial(*addr)
+	// Retrying client: BUSY responses back off, and with an endpoint list a
+	// standby's not-primary rejection rotates to the next endpoint.
+	cl, err := slurm.DialRetry(*addr, uint64(time.Now().UnixNano()))
 	return cl, fs, err
 }
 

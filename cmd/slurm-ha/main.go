@@ -1,0 +1,218 @@
+// Command slurm-ha demonstrates the high-availability controller pair end to
+// end, in one process: a journaled primary replicating to a warm standby
+// through deterministic chaos proxies, a client storm of tokened submits,
+// a network partition that isolates the primary mid-soak, and the
+// assertions that make HA worth having —
+//
+//  1. the standby promotes itself within one lease,
+//  2. every acknowledged submit is present exactly once after failover,
+//  3. the deposed primary is fenced (rejects mutations), and
+//  4. on healing, the deposed node rejoins as a standby and resyncs.
+//
+// Exits non-zero if any invariant is violated. Flags tune the storm size,
+// seed, and lease.
+//
+//	go run ./cmd/slurm-ha -seed 7 -clients 8 -submits 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/slurm"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "chaos and retry-jitter RNG seed")
+	clients := flag.Int("clients", 8, "concurrent submitting clients")
+	submits := flag.Int("submits", 6, "submits per client")
+	lease := flag.Duration("lease", 500*time.Millisecond, "HA failover lease")
+	flag.Parse()
+	if err := run(*seed, *clients, *submits, *lease); err != nil {
+		fmt.Fprintln(os.Stderr, "slurm-ha: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("slurm-ha: PASS")
+}
+
+func run(seed uint64, clients, submits int, lease time.Duration) error {
+	cfg := slurm.DefaultConfig()
+
+	dirA, err := os.MkdirTemp("", "slurm-ha-a-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dirA)
+	dirB, err := os.MkdirTemp("", "slurm-ha-b-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dirB)
+
+	ctlA, err := slurm.OpenJournaled(cfg, dirA, 64)
+	if err != nil {
+		return err
+	}
+	defer ctlA.Close()
+	ctlB, err := slurm.OpenJournaled(cfg, dirB, 64)
+	if err != nil {
+		return err
+	}
+	defer ctlB.Close()
+
+	srvA := slurm.NewServer(ctlA)
+	addrA, err := srvA.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer srvA.Close()
+	srvB := slurm.NewServer(ctlB)
+	addrB, err := srvB.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer srvB.Close()
+
+	// Every path touching node A runs through a chaos proxy, so one
+	// Partition call network-isolates the primary exactly: clients→A,
+	// A→B replication, and B→A replication (the post-promotion direction).
+	pCli, err := chaos.Listen(addrA, chaos.Config{Seed: seed, Name: "cli",
+		DelayProb: 0.05, DelayMin: time.Millisecond, DelayMax: 5 * time.Millisecond})
+	if err != nil {
+		return err
+	}
+	defer pCli.Close()
+	pAB, err := chaos.Listen(addrB, chaos.Config{Seed: seed, Name: "ab"})
+	if err != nil {
+		return err
+	}
+	defer pAB.Close()
+	pBA, err := chaos.Listen(addrA, chaos.Config{Seed: seed, Name: "ba"})
+	if err != nil {
+		return err
+	}
+	defer pBA.Close()
+
+	if err := ctlA.StartHA(slurm.HAOptions{Peer: pAB.Addr(), Lease: lease}); err != nil {
+		return err
+	}
+	if err := ctlB.StartHA(slurm.HAOptions{Standby: true, Peer: pBA.Addr(), Lease: lease}); err != nil {
+		return err
+	}
+	fmt.Printf("slurm-ha: primary %s replicating to standby %s (lease %s)\n", addrA, addrB, lease)
+
+	res, err := slurm.RunFailoverSoak(slurm.FailoverSoakConfig{
+		Addrs:            pCli.Addr() + "," + addrB,
+		Clients:          clients,
+		SubmitsPerClient: submits,
+		Seed:             seed,
+		Timeout:          300 * time.Millisecond,
+		DisruptAt:        clients * submits / 4,
+		Disrupt: func() {
+			fmt.Println("slurm-ha: partitioning the primary mid-soak")
+			pCli.Partition()
+			pAB.Partition()
+			pBA.Partition()
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("slurm-ha: storm done: %d acked, %d failures, %d retries, %s\n",
+		len(res.Acked), res.Failures, res.Retries, res.Elapsed)
+	for _, e := range res.Errors {
+		fmt.Println("slurm-ha:   error:", e)
+	}
+
+	// 1. The standby must have promoted within about one lease; the storm's
+	// failover-riding retries usually force this before the storm even ends.
+	if err := waitRole(addrB, slurm.RolePrimary, 10*lease); err != nil {
+		return fmt.Errorf("standby never promoted: %w", err)
+	}
+	fmt.Println("slurm-ha: standby promoted to primary")
+
+	// 2. Zero lost acknowledged submits on the new primary, exactly once.
+	if err := slurm.AuditExactlyOnce(addrB, seed, res.Acked); err != nil {
+		return err
+	}
+	fmt.Printf("slurm-ha: all %d acknowledged submits present exactly once\n", len(res.Acked))
+
+	// 3. The deposed primary must be fenced: still reachable (dial its real
+	// address, not the partitioned proxy) but refusing mutations.
+	fenced, err := slurm.Dial(addrA)
+	if err != nil {
+		return err
+	}
+	if _, err := fenced.SubmitToken("fenced-probe", "minife", 1, 1800, 900, "fenced-probe"); err == nil {
+		fenced.Close()
+		return fmt.Errorf("deposed primary accepted a mutation while partitioned (split brain)")
+	}
+	fenced.Close()
+	fmt.Println("slurm-ha: deposed primary is fenced")
+
+	// 4. Heal the partition: the deposed node must observe the higher
+	// epoch, demote itself, and resync from the new primary's log.
+	pCli.Heal()
+	pAB.Heal()
+	pBA.Heal()
+	if err := waitRole(addrA, slurm.RoleStandby, 10*lease); err != nil {
+		return fmt.Errorf("deposed primary never rejoined as standby: %w", err)
+	}
+	if err := waitCaughtUp(addrA, addrB, 10*lease); err != nil {
+		return err
+	}
+	fmt.Println("slurm-ha: deposed primary rejoined as standby and resynced")
+	return nil
+}
+
+// waitRole polls a node's health until it reports the wanted HA role.
+func waitRole(addr, role string, timeout time.Duration) error {
+	cl, err := slurm.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	deadline := time.Now().Add(timeout)
+	var last string
+	for time.Now().Before(deadline) {
+		_, got, _, err := cl.HealthInfo()
+		if err == nil && got == role {
+			return nil
+		}
+		if err == nil {
+			last = got
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("still %q after %s", last, timeout)
+}
+
+// waitCaughtUp polls until the follower's job list matches the primary's.
+func waitCaughtUp(follower, primary string, timeout time.Duration) error {
+	clF, err := slurm.Dial(follower)
+	if err != nil {
+		return err
+	}
+	defer clF.Close()
+	clP, err := slurm.Dial(primary)
+	if err != nil {
+		return err
+	}
+	defer clP.Close()
+	deadline := time.Now().Add(timeout)
+	var nf, np int
+	for time.Now().Before(deadline) {
+		_, nf, err = clF.QueuePage(true, 1, 0)
+		if err == nil {
+			_, np, err = clP.QueuePage(true, 1, 0)
+		}
+		if err == nil && nf == np && np > 0 {
+			return nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("follower never caught up: %d jobs vs primary's %d after %s", nf, np, timeout)
+}

@@ -1,0 +1,229 @@
+package chaos
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer answers each newline-terminated line with the same line.
+func echoServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				sc := bufio.NewScanner(c)
+				for sc.Scan() {
+					if _, err := fmt.Fprintln(c, sc.Text()); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// roundTrip sends one line through conn and returns the echoed reply.
+func roundTrip(conn net.Conn, line string, timeout time.Duration) (string, error) {
+	conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := fmt.Fprintln(conn, line); err != nil {
+		return "", err
+	}
+	reply, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return reply[:len(reply)-1], nil
+}
+
+// TestProxyTransparent: a zero-fault proxy forwards faithfully.
+func TestProxyTransparent(t *testing.T) {
+	p, err := Listen(echoServer(t), Config{Seed: 1, Name: "plain"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for i := 0; i < 10; i++ {
+		msg := fmt.Sprintf("ping-%d", i)
+		got, err := roundTrip(conn, msg, time.Second)
+		if err != nil || got != msg {
+			t.Fatalf("round trip %d: got %q err %v", i, got, err)
+		}
+	}
+}
+
+// TestProxyFaultDeterminism: two proxies with the same seed and name draw an
+// identical fault sequence per direction; a different name diverges.
+func TestProxyFaultDeterminism(t *testing.T) {
+	target := echoServer(t)
+	cfg := Config{Seed: 42, Name: "det", Drop: 0.1,
+		DelayProb: 0.3, DelayMin: time.Millisecond, DelayMax: 9 * time.Millisecond}
+	p1, err := Listen(target, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p1.Close()
+	p2, err := Listen(target, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	other := cfg
+	other.Name = "other"
+	p3, err := Listen(target, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p3.Close()
+
+	draw := func(p *Proxy, n int) []string {
+		seq := make([]string, n)
+		for i := range seq {
+			drop, delay := p.fault(true)
+			seq[i] = fmt.Sprintf("%v/%s", drop, delay)
+		}
+		return seq
+	}
+	s1, s2, s3 := draw(p1, 200), draw(p2, 200), draw(p3, 200)
+	same, diff := 0, 0
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("draw %d diverges between identical configs: %s vs %s", i, s1[i], s2[i])
+		}
+		if s1[i] == s3[i] {
+			same++
+		} else {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("differently named streams drew identical fault sequences")
+	}
+}
+
+// TestProxyPartitionAndHeal: a partitioned proxy keeps connections open but
+// swallows bytes; healing restores service on the same connection, and the
+// swallowed bytes stay lost.
+func TestProxyPartitionAndHeal(t *testing.T) {
+	p, err := Listen(echoServer(t), Config{Seed: 3, Name: "part"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if got, err := roundTrip(conn, "before", time.Second); err != nil || got != "before" {
+		t.Fatalf("pre-partition: got %q err %v", got, err)
+	}
+
+	p.Partition()
+	if _, err := roundTrip(conn, "lost", 150*time.Millisecond); err == nil {
+		t.Fatal("round trip succeeded through a partition")
+	}
+
+	p.Heal()
+	conn.SetDeadline(time.Time{})
+	// The swallowed line must NOT arrive late: the next reply should echo
+	// the post-heal request, not the partitioned one.
+	got, err := roundTrip(conn, "after", time.Second)
+	if err != nil {
+		t.Fatalf("post-heal round trip: %v", err)
+	}
+	if got != "after" {
+		t.Fatalf("post-heal reply %q: partitioned bytes leaked through", got)
+	}
+}
+
+// TestProxyAsymmetricPartition: severing only server→client lets the request
+// through (the server echoes into the void) while the reply is lost.
+func TestProxyAsymmetricPartition(t *testing.T) {
+	p, err := Listen(echoServer(t), Config{Seed: 4, Name: "asym"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	p.SetPartition(false, true)
+	if _, err := roundTrip(conn, "one-way", 150*time.Millisecond); err == nil {
+		t.Fatal("reply crossed a server→client partition")
+	}
+	p.SetPartition(false, false)
+	if got, err := roundTrip(conn, "two-way", time.Second); err != nil || got != "two-way" {
+		t.Fatalf("after healing s2c: got %q err %v", got, err)
+	}
+}
+
+// TestProxyDropSevers: Drop=1 severs the connection on the first chunk, as a
+// client sees a mid-request TCP reset.
+func TestProxyDropSevers(t *testing.T) {
+	p, err := Listen(echoServer(t), Config{Seed: 5, Name: "drop", Drop: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := roundTrip(conn, "doomed", time.Second); err == nil {
+		t.Fatal("round trip survived Drop=1")
+	}
+}
+
+// TestProxyCloseSeversLiveConns: Close unblocks in-flight connections and
+// returns only after the forwarding goroutines exit.
+func TestProxyCloseSeversLiveConns(t *testing.T) {
+	p, err := Listen(echoServer(t), Config{Seed: 6, Name: "close"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if got, err := roundTrip(conn, "up", time.Second); err != nil || got != "up" {
+		t.Fatalf("pre-close: got %q err %v", got, err)
+	}
+	done := make(chan struct{})
+	go func() {
+		p.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close hung with a live connection")
+	}
+	conn.SetDeadline(time.Now().Add(time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("connection still alive after proxy Close")
+	}
+}

@@ -51,6 +51,11 @@ type Config struct {
 	// The zero value disables every overload feature, keeping protocol
 	// behaviour and journal format byte-compatible with earlier releases.
 	Overload OverloadConfig
+	// HA configures the controller pair (populated from ReplicaAddr,
+	// HALeaseSeconds, HAHeartbeatSeconds). The zero value — no replication
+	// keys in slurm.conf — disables HA, keeping the wire protocol and
+	// journal format byte-compatible with standalone releases.
+	HA HAConfig
 }
 
 // Partition is a job partition with admission limits.
@@ -137,6 +142,13 @@ var nodeRangeRe = regexp.MustCompile(`^([a-zA-Z_-]*)\[(\d+)-(\d+)\]$`)
 //	BreakerCooldown=<seconds>          (overload: tripped-to-half-open wait)
 //	HistoryLimit=<int>                 (overload: default cap on history
 //	                                    rows per queue reply; 0 = unlimited)
+//	ReplicaAddr=<host:port>            (HA: standby to stream journal
+//	                                    entries to; absent = standalone)
+//	HALeaseSeconds=<float>             (HA: failover lease; standby promotes
+//	                                    after this long without a heartbeat,
+//	                                    primary self-fences after half of it)
+//	HAHeartbeatSeconds=<float>         (HA: replication heartbeat spacing;
+//	                                    must be shorter than the lease)
 func ParseConfig(r io.Reader) (Config, error) {
 	cfg := DefaultConfig()
 	cfg.Machine = cluster.Config{} // must come from NodeName
@@ -233,6 +245,16 @@ func ParseConfig(r io.Reader) (Config, error) {
 			cfg.Overload.BreakerCooldown = time.Duration(v * float64(time.Second))
 		case "HistoryLimit":
 			cfg.Overload.HistoryLimit, err = strconv.Atoi(strings.TrimSpace(rest))
+		case "ReplicaAddr":
+			cfg.HA.Replica = strings.TrimSpace(rest)
+		case "HALeaseSeconds":
+			var v float64
+			v, err = strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			cfg.HA.Lease = time.Duration(v * float64(time.Second))
+		case "HAHeartbeatSeconds":
+			var v float64
+			v, err = strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			cfg.HA.Heartbeat = time.Duration(v * float64(time.Second))
 		default:
 			return Config{}, fmt.Errorf("slurm: line %d: unknown key %q", lineNo, key)
 		}
@@ -274,6 +296,9 @@ func (c Config) Validate() error {
 		return err
 	}
 	if err := c.Overload.Validate(); err != nil {
+		return err
+	}
+	if err := c.HA.Validate(); err != nil {
 		return err
 	}
 	return nil

@@ -1,9 +1,11 @@
 package slurm
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/acct"
 	"repro/internal/cluster"
@@ -37,6 +39,14 @@ type Controller struct {
 	killSeen int
 	rejSeen  int
 
+	// seq is the last assigned journal sequence number; entries is the
+	// complete in-memory operation log (kept only when journaling or HA is
+	// on). The disk snapshot is a compaction — a concatenation, never a
+	// discard — so the in-memory copy mirrors what disk already retains and
+	// is what the primary streams to a standby (including full resyncs).
+	seq     int64
+	entries []Entry
+
 	// tokens maps client-supplied submit idempotency tokens to the job ID
 	// they created. Tokens ride in the journal's submit entries, so the
 	// dedupe map survives crash recovery.
@@ -44,13 +54,25 @@ type Controller struct {
 	// br is the journal circuit breaker (nil when disabled): consecutive
 	// append failures trip the controller into read-only DEGRADED mode.
 	br *breaker
+
+	// HA pair state (see ha.go). epoch is the fencing term: zero while HA
+	// is off (so journal entries stay byte-compatible), ≥1 once StartHA has
+	// run, bumped by every promotion.
+	haOn      bool
+	haStopped bool
+	haOpts    HAOptions
+	haStop    chan struct{}
+	haWG      sync.WaitGroup
+	epoch     int64
+	standby   bool
+	needFull  bool      // follower requires a full resync (set on demotion)
+	lastHeard time.Time // follower: last replicate/heartbeat from the primary
+	repl      *replicator
 }
 
-// NewController builds a controller from a validated configuration.
-func NewController(cfg Config) (*Controller, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
+// buildSystem constructs the simulation core for a validated configuration,
+// with the queue ordered by the configured multifactor priority.
+func buildSystem(cfg Config) (*core.System, error) {
 	share := cfg.Share
 	var faults *fault.Config
 	if cfg.Fault.Active() {
@@ -72,6 +94,18 @@ func NewController(cfg Config) (*Controller, error) {
 			engine.Now, cfg.Machine.Nodes, UsageFromEngine(engine)))
 	} else {
 		engine.SetQueueOrder(cfg.Priority.Less(engine.Now, cfg.Machine.Nodes))
+	}
+	return sys, nil
+}
+
+// NewController builds a controller from a validated configuration.
+func NewController(cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sys, err := buildSystem(cfg)
+	if err != nil {
+		return nil, err
 	}
 	c := &Controller{cfg: cfg, sys: sys, tokens: make(map[string]cluster.JobID)}
 	if cfg.Overload.BreakerThreshold > 0 {
@@ -105,6 +139,10 @@ func OpenJournaled(cfg Config, dir string, snapshotEvery int) (*Controller, erro
 	c.finSeen = len(c.sys.Finished())
 	c.killSeen = len(c.sys.Engine().Killed())
 	c.rejSeen = len(c.sys.Engine().Rejected())
+	c.entries = entries
+	if len(entries) > 0 {
+		c.seq = entries[len(entries)-1].Seq
+	}
 	c.jr = j
 	return c, nil
 }
@@ -114,10 +152,18 @@ func OpenJournaled(cfg Config, dir string, snapshotEvery int) (*Controller, erro
 // original run means the journal and configuration have diverged.
 func (c *Controller) replay(entries []Entry) error {
 	for _, e := range entries {
+		// Recover the fencing term: the effective epoch is the highest ever
+		// journaled, so a restarted deposed primary cannot forget it was
+		// deposed.
+		if e.Epoch > c.epoch {
+			c.epoch = e.Epoch
+		}
 		var err error
 		switch e.Op {
 		case "record":
 			continue
+		case "epoch":
+			continue // promotion marker; handled by the epoch scan above
 		case "submit":
 			after := make([]cluster.JobID, len(e.After))
 			for i, a := range e.After {
@@ -165,8 +211,16 @@ func (c *Controller) replay(entries []Entry) error {
 // queries only rather than acknowledging work it could lose.
 var ErrDegraded = fmt.Errorf("slurm: controller degraded (journal unavailable), mutations rejected")
 
-// checkWritable gates mutations on the circuit breaker. Callers hold c.mu.
+// checkWritable gates mutations: a standby serves reads only, a primary
+// whose replication lease has lapsed is fenced, and a tripped journal
+// breaker means read-only DEGRADED. Callers hold c.mu.
 func (c *Controller) checkWritable() error {
+	if c.standby {
+		return ErrNotPrimary
+	}
+	if c.repl != nil && c.repl.leaseLost(time.Now()) {
+		return ErrFenced
+	}
 	if c.br != nil && !c.br.writable() {
 		return ErrDegraded
 	}
@@ -174,25 +228,42 @@ func (c *Controller) checkWritable() error {
 }
 
 // Health reports the controller's health: "degraded" while the journal
-// breaker is tripped, "ok" otherwise. (The protocol server layers
-// "draining" on top during shutdown.)
+// breaker is tripped, "fenced" for a primary whose replication lease has
+// lapsed, "ok" otherwise. (The protocol server layers "draining" on top
+// during shutdown.)
 func (c *Controller) Health() string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.br != nil && c.br.degraded() {
 		return HealthDegraded
 	}
+	if !c.standby && c.repl != nil && c.repl.leaseLost(time.Now()) {
+		return HealthFenced
+	}
 	return HealthOK
 }
 
-// log appends one operation entry plus audit records for any completions it
-// caused, feeding the circuit breaker with the outcome. Callers hold c.mu.
-// A nil journal makes it a no-op.
+// log durably appends one operation entry (plus audit records for any
+// completions it caused), then replicates everything the standby is missing.
+// Callers hold c.mu. Replication failures come back wrapped in
+// errReplication so callers can tell "not locally durable" from "locally
+// durable but not yet on the standby".
 func (c *Controller) log(e Entry) error {
-	if c.jr == nil {
+	if err := c.logLocal(e); err != nil {
+		return err
+	}
+	return c.replicateLocked()
+}
+
+// logLocal appends one entry and the pending completion audits to the local
+// journal and the in-memory log, feeding the circuit breaker with the
+// outcome. Callers hold c.mu. Without a journal and without HA the log is
+// not retained at all (in-memory controllers stay cheap).
+func (c *Controller) logLocal(e Entry) error {
+	if c.jr == nil && !c.haOn {
 		return nil
 	}
-	err := c.jr.append(e)
+	err := c.appendEntry(e)
 	if err == nil {
 		err = c.auditCompletions()
 	}
@@ -206,13 +277,30 @@ func (c *Controller) log(e Entry) error {
 	return err
 }
 
+// appendEntry stamps seq and epoch on one entry, persists it, and records it
+// in the in-memory log. Callers hold c.mu.
+func (c *Controller) appendEntry(e Entry) error {
+	e.Seq = c.seq + 1
+	if c.haOn && e.Epoch == 0 {
+		e.Epoch = c.epoch
+	}
+	if c.jr != nil {
+		if err := c.jr.append(e); err != nil {
+			return err
+		}
+	}
+	c.seq = e.Seq
+	c.entries = append(c.entries, e)
+	return nil
+}
+
 // auditCompletions journals an acct.Record for every job that reached a
 // terminal state since the last audit.
 func (c *Controller) auditCompletions() error {
 	audit := func(jobs []*job.Job, seen *int) error {
 		for ; *seen < len(jobs); *seen++ {
 			rec := acct.FromJob(jobs[*seen])
-			if err := c.jr.append(Entry{Op: "record", Record: &rec}); err != nil {
+			if err := c.appendEntry(Entry{Op: "record", Record: &rec}); err != nil {
 				return err
 			}
 		}
@@ -227,8 +315,10 @@ func (c *Controller) auditCompletions() error {
 	return audit(c.sys.Engine().Rejected(), &c.rejSeen)
 }
 
-// Close flushes and releases the journal (no-op without one).
+// Close stops HA replication, then flushes and releases the journal (no-op
+// without one).
 func (c *Controller) Close() error {
+	c.StopHA()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.jr == nil {
@@ -280,15 +370,16 @@ func (c *Controller) SubmitToken(token, appName string, nodes int, wall, runtime
 	for i, a := range after {
 		deps[i] = int64(a)
 	}
-	if err := c.log(Entry{Op: "submit", App: appName, Nodes: nodes,
+	err = c.log(Entry{Op: "submit", App: appName, Nodes: nodes,
 		Walltime: float64(wall), Runtime: float64(runtime), Name: name,
-		After: deps, ID: int64(id), Token: token}); err != nil {
-		return id, err
-	}
-	if token != "" {
+		After: deps, ID: int64(id), Token: token})
+	// Register the token once the submit is locally durable, even if
+	// replication to the standby failed: the job exists here, so a retry of
+	// the same token must dedupe rather than double-enqueue.
+	if token != "" && (err == nil || errors.Is(err, errReplication)) {
 		c.tokens[token] = id
 	}
-	return id, nil
+	return id, err
 }
 
 func (c *Controller) applySubmit(appName string, nodes int, wall, runtime des.Duration, name string, after []cluster.JobID) (cluster.JobID, error) {

@@ -1,0 +1,598 @@
+package slurm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/des"
+)
+
+// High availability. A controller pair runs one primary and one warm
+// standby: the primary streams every journal entry to the standby over the
+// wire protocol's `replicate` verb and only acknowledges a mutation once the
+// standby has applied it (semi-synchronous replication). Because the
+// simulation is deterministic, applying the same operation log yields the
+// same state, so the standby is a pure log follower — no state transfer
+// format exists beyond the journal itself.
+//
+// Split-brain is prevented by epoch fencing plus a lease:
+//
+//   - Every journal entry carries the epoch (term) it was written under.
+//     Promotion bumps the epoch and journals it, so the term survives
+//     crashes.
+//   - The primary fences itself — rejects mutations with ErrFenced — once
+//     Lease/2 elapses without a replication acknowledgement. The standby
+//     promotes only after a full Lease without hearing a heartbeat. The
+//     heartbeat the standby last heard was sent before the ack the primary
+//     last received was processed, so the primary's half-lease deadline
+//     expires at least Lease/2 before the standby's, and the old primary has
+//     stopped acknowledging work before the new one starts.
+//   - A deposed primary that reconnects replicates with a stale epoch; the
+//     new primary rejects the append (leaving its journal byte-identical)
+//     and reports the current epoch, at which point the deposed node demotes
+//     itself to standby and requests a full resync.
+//
+// A promoted primary initially runs detached (no follower), acknowledging
+// writes without replication, exactly like a standalone controller; once the
+// deposed peer rejoins and catches up, replication turns strict again.
+
+// Role names reported by the health verb.
+const (
+	RolePrimary = "primary"
+	RoleStandby = "standby"
+)
+
+// Replication pacing defaults.
+const (
+	// DefaultHALease is the failover lease: a standby promotes after this
+	// long without a heartbeat; a primary fences itself after half of it
+	// without an ack.
+	DefaultHALease = 3 * time.Second
+	// replicateBatch bounds entries per replicate request so a full resync
+	// stays far under the protocol's MaxLine.
+	replicateBatch = 256
+)
+
+var (
+	// ErrNotPrimary is returned for mutations sent to a standby; clients
+	// with an endpoint list fail over to the next endpoint on seeing it.
+	ErrNotPrimary = errors.New("slurm: not primary (standby serves reads only)")
+	// ErrFenced is returned for mutations on a primary whose replication
+	// lease has lapsed: the standby may already have promoted, so
+	// acknowledging new work here could split the brain.
+	ErrFenced = errors.New("slurm: primary fenced (replication lease lost)")
+	// errReplication wraps failures to replicate a locally durable entry.
+	errReplication = errors.New("slurm: replication to standby failed")
+)
+
+// HAConfig is the slurm.conf side of the pair: where to push replication and
+// how the lease is paced. The zero value disables HA entirely, keeping the
+// wire protocol and journal format byte-compatible with standalone releases.
+type HAConfig struct {
+	// Replica is the peer address journal entries are pushed to ("" = off).
+	Replica string
+	// Lease is the failover lease (0 = DefaultHALease).
+	Lease time.Duration
+	// Heartbeat spaces replication heartbeats (0 = Lease/4).
+	Heartbeat time.Duration
+}
+
+// Validate checks the HA knobs for internal consistency.
+func (h HAConfig) Validate() error {
+	if h.Lease < 0 || h.Heartbeat < 0 {
+		return fmt.Errorf("slurm: negative HA durations")
+	}
+	lease := h.Lease
+	if lease == 0 {
+		lease = DefaultHALease
+	}
+	if h.Heartbeat != 0 && h.Heartbeat >= lease {
+		return fmt.Errorf("slurm: HAHeartbeatSeconds %s must be shorter than the lease %s",
+			h.Heartbeat, lease)
+	}
+	return nil
+}
+
+// HAOptions configures one member of the pair at runtime.
+type HAOptions struct {
+	// Standby starts the node as a follower: it applies replicated entries,
+	// rejects client mutations, and promotes itself when the lease expires.
+	Standby bool
+	// Peer is the other controller's protocol address: the push target while
+	// primary, and the push target after promotion while standby.
+	Peer string
+	// Lease is the failover lease (0 = DefaultHALease).
+	Lease time.Duration
+	// Heartbeat spaces replication heartbeats (0 = Lease/4).
+	Heartbeat time.Duration
+	// Timeout bounds one replicate round trip (0 = Lease/4).
+	Timeout time.Duration
+}
+
+func (o *HAOptions) defaults() {
+	if o.Lease <= 0 {
+		o.Lease = DefaultHALease
+	}
+	// The primary fences itself after Lease/2 without an ack, so heartbeats
+	// spaced at or beyond that would fence a healthy pair between pushes
+	// (e.g. a conf-file heartbeat combined with a shorter -lease override).
+	// Clamp pacing to stay inside the fencing window.
+	if o.Heartbeat <= 0 || o.Heartbeat >= o.Lease/2 {
+		o.Heartbeat = o.Lease / 4
+	}
+	if o.Timeout <= 0 || o.Timeout >= o.Lease/2 {
+		o.Timeout = o.Lease / 4
+	}
+}
+
+// StartHA turns the controller into one member of an HA pair. Call once,
+// after OpenJournaled/NewController and before serving traffic. A primary
+// with a configured peer is strict: mutations are acknowledged only after
+// the standby confirms them, so a standby that never comes up blocks writes
+// (by design — that is what -replica promises).
+func (c *Controller) StartHA(o HAOptions) error {
+	o.defaults()
+	c.mu.Lock()
+	if c.haOn {
+		c.mu.Unlock()
+		return fmt.Errorf("slurm: HA already started")
+	}
+	if o.Peer == "" {
+		c.mu.Unlock()
+		return fmt.Errorf("slurm: HA needs a peer address")
+	}
+	c.haOn = true
+	c.haOpts = o
+	c.haStop = make(chan struct{})
+	if c.epoch == 0 {
+		c.epoch = 1
+	}
+	if o.Standby {
+		c.standby = true
+		c.lastHeard = time.Now()
+		c.haWG.Add(1)
+		go c.promotionMonitor()
+		c.mu.Unlock()
+		return nil
+	}
+	c.startReplicatorLocked(false)
+	c.mu.Unlock()
+	return nil
+}
+
+// StopHA halts replication and promotion monitoring. Idempotent; called by
+// Close.
+func (c *Controller) StopHA() {
+	c.mu.Lock()
+	if !c.haOn || c.haStopped {
+		c.mu.Unlock()
+		return
+	}
+	c.haStopped = true
+	close(c.haStop)
+	c.mu.Unlock()
+	c.haWG.Wait()
+}
+
+// HAInfo reports whether HA is on and, if so, the role and epoch.
+func (c *Controller) HAInfo() (on bool, role string, epoch int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.haOn, c.roleLocked(), c.epoch
+}
+
+// RoleEpoch returns the node's role and fencing epoch.
+func (c *Controller) RoleEpoch() (string, int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.roleLocked(), c.epoch
+}
+
+func (c *Controller) roleLocked() string {
+	if c.standby {
+		return RoleStandby
+	}
+	return RolePrimary
+}
+
+// startReplicatorLocked creates and launches the push replicator. Callers
+// hold c.mu. detached marks a freshly promoted primary that has no live
+// follower yet and may acknowledge writes without replication.
+func (c *Controller) startReplicatorLocked(detached bool) {
+	r := newReplicator(c, c.haOpts)
+	r.detached.Store(detached)
+	c.repl = r
+	c.haWG.Add(1)
+	go r.run()
+}
+
+// promotionMonitor watches the lease on a standby and promotes when the
+// primary goes quiet. It exits once the node is no longer a standby.
+func (c *Controller) promotionMonitor() {
+	defer c.haWG.Done()
+	interval := c.haOpts.Lease / 8
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.haStop:
+			return
+		case <-tick.C:
+		}
+		c.mu.Lock()
+		if !c.standby {
+			c.mu.Unlock()
+			return
+		}
+		if time.Since(c.lastHeard) > c.haOpts.Lease {
+			c.promoteLocked()
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Unlock()
+	}
+}
+
+// promoteLocked turns the standby into the primary: bump and journal the
+// epoch (the durable fencing token), then start pushing to the deposed peer
+// so it can rejoin as a follower. Callers hold c.mu.
+func (c *Controller) promoteLocked() {
+	c.standby = false
+	c.needFull = false
+	c.epoch++
+	// Journal the new term before acknowledging any write under it. A
+	// failure here feeds the breaker like any append failure: the node
+	// promotes but starts out DEGRADED rather than silently non-durable.
+	c.logLocal(Entry{Op: "epoch", Epoch: c.epoch})
+	c.startReplicatorLocked(true)
+}
+
+// demoteLocked steps a deposed primary (or an out-of-date standby) down
+// under a higher epoch: stop pushing, require a full resync, and watch the
+// new primary's lease. Callers hold c.mu.
+func (c *Controller) demoteLocked(newEpoch int64) {
+	if newEpoch > c.epoch {
+		c.epoch = newEpoch
+	}
+	if c.standby {
+		return
+	}
+	c.standby = true
+	c.needFull = true
+	c.lastHeard = time.Now()
+	c.repl = nil // its run loop notices and exits
+	if !c.haStopped {
+		c.haWG.Add(1)
+		go c.promotionMonitor()
+	}
+}
+
+// HandleReplicate is the standby side of the replicate verb: validate the
+// epoch, apply in-order entries, and acknowledge with the last applied
+// sequence number. It also serves as the fencing point — a deposed primary's
+// stale-epoch appends are rejected here without touching the journal.
+func (c *Controller) HandleReplicate(req Request) Response {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.haOn {
+		return Response{Error: "replication not enabled on this node"}
+	}
+	if req.Epoch < c.epoch {
+		return Response{
+			Error: fmt.Sprintf("stale epoch %d rejected (current epoch %d)", req.Epoch, c.epoch),
+			Role:  c.roleLocked(), Epoch: c.epoch, Seq: c.seq,
+		}
+	}
+	if req.Epoch > c.epoch {
+		c.demoteLocked(req.Epoch)
+	}
+	if !c.standby {
+		return Response{
+			Error: fmt.Sprintf("conflicting primary at epoch %d", c.epoch),
+			Role:  c.roleLocked(), Epoch: c.epoch, Seq: c.seq,
+		}
+	}
+	c.lastHeard = time.Now()
+	if req.Full {
+		if err := c.resetFromLogLocked(req.Entries); err != nil {
+			return Response{Error: fmt.Sprintf("full resync: %v", err),
+				Role: RoleStandby, Epoch: c.epoch, Seq: c.seq}
+		}
+		c.needFull = false
+		if req.Epoch > c.epoch {
+			c.epoch = req.Epoch
+		}
+		return Response{OK: true, Role: RoleStandby, Epoch: c.epoch, Seq: c.seq}
+	}
+	if c.needFull {
+		// Our log diverged (we were deposed); only a full resync is safe.
+		return Response{OK: true, NeedFull: true, Role: RoleStandby, Epoch: c.epoch, Seq: c.seq}
+	}
+	for _, e := range req.Entries {
+		if e.Seq <= c.seq {
+			continue // duplicate resend after a lost ack
+		}
+		if e.Seq != c.seq+1 {
+			break // gap; ack what we have, the primary resends from there
+		}
+		if err := c.applyReplicatedLocked(e); err != nil {
+			return Response{Error: fmt.Sprintf("apply entry %d (%s): %v", e.Seq, e.Op, err),
+				Role: RoleStandby, Epoch: c.epoch, Seq: c.seq}
+		}
+	}
+	return Response{OK: true, Role: RoleStandby, Epoch: c.epoch, Seq: c.seq}
+}
+
+// applyReplicatedLocked applies one in-order replicated entry: run the
+// operation against the engine (replay semantics, ID divergence checked),
+// then persist the entry byte-identically to how the primary journaled it.
+func (c *Controller) applyReplicatedLocked(e Entry) error {
+	var err error
+	switch e.Op {
+	case "record":
+		// Audit output, not an input; journaled for a complete trail.
+	case "epoch":
+		if e.Epoch > c.epoch {
+			c.epoch = e.Epoch
+		}
+	case "submit":
+		after := make([]cluster.JobID, len(e.After))
+		for i, a := range e.After {
+			after[i] = cluster.JobID(a)
+		}
+		var id cluster.JobID
+		id, err = c.applySubmit(e.App, e.Nodes,
+			des.Duration(e.Walltime), des.Duration(e.Runtime), e.Name, after)
+		if err == nil && int64(id) != e.ID {
+			err = fmt.Errorf("job ID diverged: got %d, primary has %d", id, e.ID)
+		}
+		if err == nil && e.Token != "" {
+			// Keep the dedupe map current so a client retrying a submit
+			// after failover gets the original ID, not a duplicate job.
+			c.tokens[e.Token] = id
+		}
+	case "cancel":
+		err = c.sys.Engine().CancelPending(cluster.JobID(e.ID))
+	case "advance":
+		c.applyAdvance(des.Duration(e.Seconds))
+	case "drain":
+		c.sys.Run()
+	case "drain_node":
+		err = c.applyDrainNode(e.Node)
+	case "resume_node":
+		err = c.applyResumeNode(e.Node)
+	case "requeue":
+		err = c.applyRequeue(cluster.JobID(e.ID))
+	case "down_node":
+		err = c.applyDownNode(e.Node)
+	case "up_node":
+		err = c.applyUpNode(e.Node)
+	default:
+		err = fmt.Errorf("unknown op %q", e.Op)
+	}
+	if err != nil {
+		return err
+	}
+	// Replicated completions are journaled by the primary as record entries
+	// that arrive in-stream; the follower must not re-audit its own copies.
+	c.finSeen = len(c.sys.Finished())
+	c.killSeen = len(c.sys.Engine().Killed())
+	c.rejSeen = len(c.sys.Engine().Rejected())
+	if c.jr != nil {
+		err = c.jr.append(e)
+		if c.br != nil {
+			if err != nil {
+				c.br.failure()
+			} else {
+				c.br.success()
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	c.seq = e.Seq
+	c.entries = append(c.entries, e)
+	return nil
+}
+
+// resetFromLogLocked rebuilds the follower from scratch against the
+// primary's full log: fresh engine, replay, journal rewritten atomically.
+// Replay determinism makes this the complete state-transfer mechanism.
+func (c *Controller) resetFromLogLocked(entries []Entry) error {
+	sys, err := buildSystem(c.cfg)
+	if err != nil {
+		return err
+	}
+	c.sys = sys
+	c.tokens = make(map[string]cluster.JobID)
+	c.finSeen, c.killSeen, c.rejSeen = 0, 0, 0
+	c.seq, c.entries = 0, nil
+	if err := c.replay(entries); err != nil {
+		return err
+	}
+	c.finSeen = len(c.sys.Finished())
+	c.killSeen = len(c.sys.Engine().Killed())
+	c.rejSeen = len(c.sys.Engine().Rejected())
+	c.entries = append([]Entry(nil), entries...)
+	if len(entries) > 0 {
+		c.seq = entries[len(entries)-1].Seq
+	}
+	if c.jr != nil {
+		err := c.jr.rewrite(entries)
+		if c.br != nil {
+			if err != nil {
+				c.br.failure()
+			} else {
+				c.br.success()
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replicateLocked pushes everything the standby is missing and, in strict
+// mode, fails if the follower did not confirm the full log. Callers hold
+// c.mu.
+func (c *Controller) replicateLocked() error {
+	r := c.repl
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	err := r.pushLocked()
+	caughtUp := int(r.ackSeq) >= len(c.entries) && !r.needFull
+	r.mu.Unlock()
+	if r.detached.Load() {
+		return nil // no live follower yet; solo acknowledgements allowed
+	}
+	if err != nil {
+		return fmt.Errorf("%w: %v", errReplication, err)
+	}
+	if !caughtUp {
+		return fmt.Errorf("%w: follower behind after push", errReplication)
+	}
+	return nil
+}
+
+// replicator pushes the journal to the peer and tracks the lease.
+type replicator struct {
+	c *Controller
+	o HAOptions
+
+	// detached marks a freshly promoted primary with no live follower: it may
+	// acknowledge writes solo, and by definition holds its own lease.
+	detached atomic.Bool
+
+	mu      sync.Mutex
+	cl      *Client
+	ackSeq  int64
+	lastAck time.Time
+	// needFull records the follower's request for a full resync.
+	needFull bool
+}
+
+func newReplicator(c *Controller, o HAOptions) *replicator {
+	return &replicator{c: c, o: o, lastAck: time.Now()}
+}
+
+// leaseLost reports whether the primary must fence itself: more than half
+// the lease has passed without a replication acknowledgement. A detached
+// primary (no live follower) holds the lease by definition.
+func (r *replicator) leaseLost(now time.Time) bool {
+	if r.detached.Load() {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return now.Sub(r.lastAck) > r.o.Lease/2
+}
+
+// run is the heartbeat loop: every Heartbeat it pushes pending entries (or
+// an empty keep-alive) so the standby's lease stays fresh and a follower
+// that fell behind catches up. It exits when HA stops or the node demotes.
+func (r *replicator) run() {
+	defer r.c.haWG.Done()
+	defer func() {
+		r.mu.Lock()
+		if r.cl != nil {
+			r.cl.Close()
+			r.cl = nil
+		}
+		r.mu.Unlock()
+	}()
+	tick := time.NewTicker(r.o.Heartbeat)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.c.haStop:
+			return
+		case <-tick.C:
+		}
+		r.c.mu.Lock()
+		if r.c.repl != r {
+			r.c.mu.Unlock()
+			return // demoted or replaced
+		}
+		r.mu.Lock()
+		r.pushLocked() // persistent failure surfaces via the lease
+		r.mu.Unlock()
+		r.c.mu.Unlock()
+	}
+}
+
+// pushLocked drives replication until the follower confirms the whole log
+// (or an error). Callers hold both c.mu and r.mu; the network round trips
+// happen under the controller lock deliberately — replication is part of
+// the mutation critical section, and Timeout bounds the stall.
+func (r *replicator) pushLocked() error {
+	c := r.c
+	maxRounds := len(c.entries)/replicateBatch + 4
+	for round := 0; ; round++ {
+		if round > maxRounds {
+			return fmt.Errorf("replication not converging after %d rounds", round)
+		}
+		if r.cl == nil {
+			cl, err := Dial(r.o.Peer)
+			if err != nil {
+				return err
+			}
+			cl.Timeout = r.o.Timeout
+			r.cl = cl
+		}
+		req := Request{Op: "replicate", Epoch: c.epoch}
+		switch {
+		case r.needFull:
+			n := len(c.entries)
+			if n > replicateBatch {
+				n = replicateBatch
+			}
+			req.Entries, req.Full = c.entries[:n], true
+		case int(r.ackSeq) < len(c.entries):
+			lo := int(r.ackSeq)
+			hi := lo + replicateBatch
+			if hi > len(c.entries) {
+				hi = len(c.entries)
+			}
+			req.Entries = c.entries[lo:hi]
+		}
+		wasFull := req.Full
+		resp, err := r.cl.Do(req)
+		if err != nil {
+			if resp.Epoch > c.epoch {
+				// A higher epoch exists: we were deposed while away.
+				c.demoteLocked(resp.Epoch)
+				return fmt.Errorf("deposed by epoch %d", resp.Epoch)
+			}
+			r.cl.Close()
+			r.cl = nil
+			return err
+		}
+		r.lastAck = time.Now()
+		r.needFull = resp.NeedFull
+		if r.needFull && wasFull {
+			return fmt.Errorf("follower rejected full resync")
+		}
+		r.ackSeq = resp.Seq
+		if int(r.ackSeq) > len(c.entries) {
+			// Follower claims more log than we have: histories diverged.
+			r.needFull = true
+			continue
+		}
+		if !r.needFull && int(r.ackSeq) >= len(c.entries) {
+			// Caught up: from here on replication is strict again.
+			r.detached.Store(false)
+			return nil
+		}
+	}
+}

@@ -29,6 +29,11 @@ import (
 type Entry struct {
 	Seq int64  `json:"seq"`
 	Op  string `json:"op"`
+	// Epoch is the HA term the entry was written under. Standalone
+	// controllers leave it zero (omitted), keeping the journal format
+	// byte-identical to pre-HA releases; replicated controllers stamp every
+	// entry so a deposed primary's stale appends are detectable (see ha.go).
+	Epoch int64 `json:"epoch,omitempty"`
 	// Submit arguments; ID doubles as the expected assigned job ID, which
 	// replay verifies to catch divergence.
 	App      string  `json:"app,omitempty"`
@@ -48,11 +53,12 @@ type Entry struct {
 }
 
 // journal is the append side of the write-ahead log. Every append is synced
-// to stable storage before the operation is acknowledged.
+// to stable storage before the operation is acknowledged. Sequence numbers
+// are assigned by the controller (which also owns the in-memory copy of the
+// log for replication); the journal persists entries exactly as given.
 type journal struct {
 	dir   string
 	w     *acct.LineWriter
-	seq   int64
 	every int // compact after this many appends (0 = never)
 	ops   int // appends since the last compaction
 
@@ -65,12 +71,31 @@ type journal struct {
 func snapshotFile(dir string) string { return filepath.Join(dir, "snapshot.jsonl") }
 func journalFile(dir string) string  { return filepath.Join(dir, "journal.jsonl") }
 
+// syncDir fsyncs a directory so renames and file creations inside it survive
+// power loss. Filesystems that don't support directory fsync report an error
+// we deliberately ignore — on those, the rename itself is the best available.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
+
 // openJournal opens (creating if needed) the state directory and returns the
-// append handle plus every recovered entry, snapshot first.
+// append handle plus every recovered entry, snapshot first. A crash between
+// compaction's snapshot rename and journal truncation leaves the journal's
+// entries duplicated at the snapshot's tail; the strictly increasing Seq
+// makes that overlap detectable, so it is dropped here instead of poisoning
+// replay.
 func openJournal(dir string, every int) (*journal, []Entry, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("slurm: state dir: %w", err)
 	}
+	// A leftover compaction temp file is a crash before the rename; the
+	// snapshot+journal pair is authoritative.
+	os.Remove(snapshotFile(dir) + ".tmp")
 	snap, err := readEntries(snapshotFile(dir))
 	if err != nil {
 		return nil, nil, err
@@ -79,15 +104,21 @@ func openJournal(dir string, every int) (*journal, []Entry, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	entries := append(snap, tail...)
+	entries := snap
+	for _, e := range tail {
+		if len(entries) > 0 && e.Seq <= entries[len(entries)-1].Seq {
+			continue // overlap from a crash mid-compaction
+		}
+		entries = append(entries, e)
+	}
 	w, err := acct.OpenAppend(journalFile(dir))
 	if err != nil {
 		return nil, nil, err
 	}
+	// Make the freshly created files' directory entries durable too: an
+	// fsynced journal line in a file the directory has lost is still lost.
+	syncDir(dir)
 	j := &journal{dir: dir, w: w, every: every, ops: len(tail)}
-	if len(entries) > 0 {
-		j.seq = entries[len(entries)-1].Seq
-	}
 	return j, entries, nil
 }
 
@@ -130,16 +161,14 @@ func readEntries(path string) ([]Entry, error) {
 	return out, nil
 }
 
-// append durably logs one entry, then compacts if the journal grew past the
-// snapshot threshold.
+// append durably logs one entry (whose Seq the caller has already assigned),
+// then compacts if the journal grew past the snapshot threshold.
 func (j *journal) append(e Entry) error {
 	if j.testAppendErr != nil {
 		if err := j.testAppendErr(e); err != nil {
 			return err
 		}
 	}
-	j.seq++
-	e.Seq = j.seq
 	if err := j.w.Append(e); err != nil {
 		return err
 	}
@@ -189,10 +218,53 @@ func (j *journal) compact() error {
 	if err := os.Rename(tmp, snapshotFile(j.dir)); err != nil {
 		return fmt.Errorf("slurm: compact: %w", err)
 	}
+	// Without a directory fsync the rename may not survive power loss on
+	// some filesystems — the data would be safe in the temp file, but the
+	// snapshot name could still point at the old content.
+	syncDir(j.dir)
 	w, err := acct.Create(journalFile(j.dir)) // truncate
 	if err != nil {
 		return err
 	}
+	syncDir(j.dir)
+	j.w = w
+	j.ops = 0
+	return nil
+}
+
+// rewrite atomically replaces the journal's entire content with entries: a
+// standby that accepted a full resync from the primary persists the received
+// log in one step. The entries land in the snapshot (a resync is morally a
+// compaction) and the live journal is truncated.
+func (j *journal) rewrite(entries []Entry) error {
+	if err := j.w.Close(); err != nil {
+		return err
+	}
+	tmp := snapshotFile(j.dir) + ".tmp"
+	tw, err := acct.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("slurm: rewrite: %w", err)
+	}
+	for _, e := range entries {
+		if err := tw.Append(e); err != nil {
+			tw.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("slurm: rewrite: %w", err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("slurm: rewrite: %w", err)
+	}
+	if err := os.Rename(tmp, snapshotFile(j.dir)); err != nil {
+		return fmt.Errorf("slurm: rewrite: %w", err)
+	}
+	syncDir(j.dir)
+	w, err := acct.Create(journalFile(j.dir)) // truncate
+	if err != nil {
+		return err
+	}
+	syncDir(j.dir)
 	j.w = w
 	j.ops = 0
 	return nil

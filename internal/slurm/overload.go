@@ -26,6 +26,10 @@ const (
 	HealthOK       = "ok"
 	HealthDegraded = "degraded"
 	HealthDraining = "draining"
+	// HealthFenced marks a primary whose replication lease has lapsed: the
+	// standby may have promoted, so mutations are rejected until the pair
+	// reconciles (see ha.go).
+	HealthFenced = "fenced"
 )
 
 // Defaults applied where OverloadConfig leaves a knob zero but the feature
@@ -124,6 +128,10 @@ func verbCost(op string, controlCost float64) float64 {
 			return controlCost
 		}
 		return DefaultControlCost
+	case "replicate":
+		// Replication keeps the standby's lease alive; rate-limiting it would
+		// let a submission storm cause a spurious failover.
+		return 0
 	}
 	return 1
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -25,7 +26,7 @@ import (
 type Request struct {
 	// Op selects the operation: submit, cancel, queue, nodes, advance,
 	// drain, stats, now, config, requeue, drain_node, resume_node,
-	// down_node, up_node, health.
+	// down_node, up_node, health, replicate.
 	Op string `json:"op"`
 	// Submit arguments.
 	App      string  `json:"app,omitempty"`
@@ -50,6 +51,12 @@ type Request struct {
 	// Limit and Offset paginate queue replies (0 limit = server default).
 	Limit  int `json:"limit,omitempty"`
 	Offset int `json:"offset,omitempty"`
+	// Replication arguments (the replicate verb, primary → standby; see
+	// ha.go). Epoch fences the stream; Full marks a complete log transfer.
+	// All omitempty, so non-HA traffic is byte-identical to prior releases.
+	Epoch   int64   `json:"epoch,omitempty"`
+	Entries []Entry `json:"entries,omitempty"`
+	Full    bool    `json:"full,omitempty"`
 }
 
 // Response is one server reply.
@@ -71,6 +78,13 @@ type Response struct {
 	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 	// Total is the pre-pagination row count of a paginated queue reply.
 	Total int `json:"total,omitempty"`
+	// HA payloads: Role/Epoch accompany health replies and not-primary /
+	// fenced errors (so clients fail over); Seq and NeedFull are the
+	// replicate verb's acknowledgement. All absent while HA is off.
+	Role     string `json:"role,omitempty"`
+	Epoch    int64  `json:"epoch,omitempty"`
+	Seq      int64  `json:"seq,omitempty"`
+	NeedFull bool   `json:"need_full,omitempty"`
 }
 
 // Protocol hardening limits: a client that stops sending mid-line, never
@@ -247,7 +261,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			if draining {
 				h = HealthDraining
 			}
-			if !respond(Response{OK: true, Health: h}) || draining {
+			if !respond(s.healthResponse(h)) || draining {
 				return
 			}
 			continue
@@ -302,6 +316,27 @@ func (s *Server) admit(req Request, bucket *tokenBucket) Response {
 	return s.handle(req)
 }
 
+// healthResponse builds a health reply, attaching role and epoch only when
+// HA is on so standalone responses stay byte-identical to prior releases.
+func (s *Server) healthResponse(h string) Response {
+	resp := Response{OK: true, Health: h}
+	if on, role, epoch := s.ctl.HAInfo(); on {
+		resp.Role, resp.Epoch = role, epoch
+	}
+	return resp
+}
+
+// opErr converts a mutation error into a Response. ErrNotPrimary and
+// ErrFenced additionally carry the node's role and epoch, which is how a
+// multi-endpoint client learns it should fail over.
+func (s *Server) opErr(err error) Response {
+	resp := Response{Error: err.Error()}
+	if errors.Is(err, ErrNotPrimary) || errors.Is(err, ErrFenced) {
+		resp.Role, resp.Epoch = s.ctl.RoleEpoch()
+	}
+	return resp
+}
+
 func (s *Server) handle(req Request) Response {
 	switch req.Op {
 	case "submit":
@@ -312,14 +347,16 @@ func (s *Server) handle(req Request) Response {
 		id, err := s.ctl.SubmitToken(req.Token, req.App, req.Nodes,
 			des.Duration(req.Walltime), des.Duration(req.Runtime), req.Name, after...)
 		if err != nil {
-			return Response{Error: err.Error()}
+			return s.opErr(err)
 		}
 		return Response{OK: true, ID: int64(id)}
 	case "cancel":
 		if err := s.ctl.Cancel(cluster.JobID(req.ID)); err != nil {
-			return Response{Error: err.Error()}
+			return s.opErr(err)
 		}
 		return Response{OK: true, ID: req.ID}
+	case "replicate":
+		return s.ctl.HandleReplicate(req)
 	case "queue":
 		jobs := s.ctl.Queue()
 		if req.History {
@@ -330,37 +367,37 @@ func (s *Server) handle(req Request) Response {
 		return Response{OK: true, Nodes: s.ctl.Nodes()}
 	case "drain_node":
 		if err := s.ctl.DrainNode(req.Node); err != nil {
-			return Response{Error: err.Error()}
+			return s.opErr(err)
 		}
 		return Response{OK: true}
 	case "resume_node":
 		if err := s.ctl.ResumeNode(req.Node); err != nil {
-			return Response{Error: err.Error()}
+			return s.opErr(err)
 		}
 		return Response{OK: true}
 	case "requeue":
 		if err := s.ctl.Requeue(cluster.JobID(req.ID)); err != nil {
-			return Response{Error: err.Error()}
+			return s.opErr(err)
 		}
 		return Response{OK: true, ID: req.ID}
 	case "down_node":
 		if err := s.ctl.DownNode(req.Node); err != nil {
-			return Response{Error: err.Error()}
+			return s.opErr(err)
 		}
 		return Response{OK: true}
 	case "up_node":
 		if err := s.ctl.UpNode(req.Node); err != nil {
-			return Response{Error: err.Error()}
+			return s.opErr(err)
 		}
 		return Response{OK: true}
 	case "advance":
 		if _, err := s.ctl.AdvanceChecked(des.Duration(req.Seconds)); err != nil {
-			return Response{Error: err.Error()}
+			return s.opErr(err)
 		}
 		return Response{OK: true}
 	case "drain":
 		if _, err := s.ctl.DrainChecked(); err != nil {
-			return Response{Error: err.Error()}
+			return s.opErr(err)
 		}
 		return Response{OK: true}
 	case "stats":
@@ -369,7 +406,7 @@ func (s *Server) handle(req Request) Response {
 	case "now":
 		return Response{OK: true}
 	case "health":
-		return Response{OK: true, Health: s.ctl.Health()}
+		return s.healthResponse(s.ctl.Health())
 	case "config":
 		cfg := s.ctl.Config()
 		return Response{OK: true, Cluster: cfg.ClusterName, Policy: cfg.Policy}
@@ -451,28 +488,63 @@ func (s *Server) Shutdown(timeout time.Duration) {
 	s.wg.Wait()
 }
 
-// Client is a protocol client (the sbatch/squeue/sinfo tooling).
+// Client is a protocol client (the sbatch/squeue/sinfo tooling). It may hold
+// an ordered list of endpoints (an HA pair): dialing picks the first healthy
+// one, and with a Retry policy set, transport failures and not-primary
+// errors rotate to the next endpoint before retrying — transparent failover.
 type Client struct {
-	conn net.Conn
-	sc   *bufio.Scanner
-	enc  *json.Encoder
-	addr string
+	conn  net.Conn
+	sc    *bufio.Scanner
+	enc   *json.Encoder
+	addrs []string
+	cur   int // index into addrs of the endpoint conn points at
 
 	// Retry, when set, makes Do resilient: BUSY responses are retried
 	// after a jittered backoff that honors the server's retry-after hint,
-	// and transport failures on idempotent requests (reads, or submits
-	// carrying a Token) redial and retry. Nil keeps the one-shot behavior.
+	// transport failures on idempotent requests (reads, or submits
+	// carrying a Token) redial and retry, and not-primary/fenced errors
+	// fail over to the next endpoint. Nil keeps the one-shot behavior.
 	Retry *RetryPolicy
+
+	// Timeout, when positive, bounds each request round trip with a
+	// connection deadline. Without it a black-holed (partitioned, not
+	// refused) endpoint stalls Do until the server's own idle timeout.
+	Timeout time.Duration
 }
 
-// Dial connects to a server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("slurm: dial %s: %w", addr, err)
+// NotPrimaryError is a structured server rejection from a node that cannot
+// accept mutations in its current HA role: a standby, or a fenced primary.
+// A multi-endpoint client's retry loop rotates endpoints on seeing it.
+type NotPrimaryError struct {
+	Role  string
+	Epoch int64
+	Msg   string
+}
+
+func (e *NotPrimaryError) Error() string { return fmt.Sprintf("slurm: server: %s", e.Msg) }
+
+// splitAddrs parses a comma-separated endpoint list.
+func splitAddrs(addr string) []string {
+	var out []string
+	for _, a := range strings.Split(addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
 	}
-	c := &Client{addr: addr}
-	c.attach(conn)
+	return out
+}
+
+// Dial connects to a server. addr may be a comma-separated endpoint list
+// ("host:port,host:port"); the first endpoint that accepts a connection wins.
+func Dial(addr string) (*Client, error) {
+	addrs := splitAddrs(addr)
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("slurm: no addresses in %q", addr)
+	}
+	c := &Client{addrs: addrs}
+	if err := c.redial(); err != nil {
+		return nil, err
+	}
 	return c, nil
 }
 
@@ -493,18 +565,34 @@ func (c *Client) attach(conn net.Conn) {
 	c.conn, c.sc, c.enc = conn, sc, json.NewEncoder(conn)
 }
 
-// redial replaces a broken connection.
+// rotate advances to the next endpoint, so the following redial tries it
+// first.
+func (c *Client) rotate() {
+	c.cur = (c.cur + 1) % len(c.addrs)
+}
+
+// redial replaces a broken connection, trying each endpoint starting from
+// the current one; the first that accepts wins.
 func (c *Client) redial() error {
 	if c.conn != nil {
 		c.conn.Close()
 		c.conn = nil
 	}
-	conn, err := net.Dial("tcp", c.addr)
-	if err != nil {
-		return fmt.Errorf("slurm: redial %s: %w", c.addr, err)
+	var firstErr error
+	for i := 0; i < len(c.addrs); i++ {
+		k := (c.cur + i) % len(c.addrs)
+		conn, err := net.Dial("tcp", c.addrs[k])
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("slurm: dial %s: %w", c.addrs[k], err)
+			}
+			continue
+		}
+		c.cur = k
+		c.attach(conn)
+		return nil
 	}
-	c.attach(conn)
-	return nil
+	return firstErr
 }
 
 // Close closes the connection.
@@ -526,12 +614,31 @@ func (c *Client) Do(req Request) (Response, error) {
 	for attempt := 0; attempt < c.Retry.MaxAttempts-1; attempt++ {
 		var retryAfter time.Duration
 		var busy *BusyError
+		var np *NotPrimaryError
 		switch {
 		case errors.As(err, &busy):
 			retryAfter = busy.RetryAfter
+		case errors.As(err, &np):
+			// The node refused because of its HA role; the operation was
+			// not performed, so retrying elsewhere is safe even untokened.
+			// With a single endpoint there is nowhere to fail over to.
+			if len(c.addrs) < 2 {
+				return resp, err
+			}
+			c.rotate()
+			if rerr := c.redial(); rerr != nil {
+				err = rerr
+				c.Retry.sleep(c.Retry.Delay(attempt, 0))
+				continue
+			}
 		case isTransportError(err) && idempotentRequest(req):
-			// The connection is suspect; rebuild it. A failed redial is
-			// itself retried on the next loop iteration.
+			// The connection is suspect; rebuild it — against the next
+			// endpoint first, if there is one, so a black-holed primary
+			// doesn't eat every retry. A failed redial is itself retried
+			// on the next loop iteration.
+			if len(c.addrs) > 1 {
+				c.rotate()
+			}
 			if rerr := c.redial(); rerr != nil {
 				err = rerr
 				c.Retry.sleep(c.Retry.Delay(attempt, 0))
@@ -555,6 +662,9 @@ func (c *Client) do1(req Request) (Response, error) {
 			return Response{}, err
 		}
 	}
+	if c.Timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.Timeout))
+	}
 	if err := c.enc.Encode(req); err != nil {
 		return Response{}, fmt.Errorf("slurm: send: %w", err)
 	}
@@ -572,6 +682,10 @@ func (c *Client) do1(req Request) (Response, error) {
 		return resp, &BusyError{RetryAfter: time.Duration(resp.RetryAfterMS) * time.Millisecond}
 	}
 	if resp.Error != "" {
+		if resp.Role != "" {
+			// Only HA role rejections carry a role; see Server.opErr.
+			return resp, &NotPrimaryError{Role: resp.Role, Epoch: resp.Epoch, Msg: resp.Error}
+		}
 		return resp, fmt.Errorf("slurm: server: %s", resp.Error)
 	}
 	return resp, nil
@@ -631,10 +745,18 @@ func (c *Client) QueuePage(history bool, limit, offset int) ([]JobInfo, int, err
 	return resp.Jobs, total, err
 }
 
-// Health asks the server for its health state: ok | degraded | draining.
+// Health asks the server for its health state: ok | degraded | draining |
+// fenced.
 func (c *Client) Health() (string, error) {
 	resp, err := c.Do(Request{Op: "health"})
 	return resp.Health, err
+}
+
+// HealthInfo is Health plus the node's HA role and epoch (empty and zero on
+// a standalone server).
+func (c *Client) HealthInfo() (health, role string, epoch int64, err error) {
+	resp, err := c.Do(Request{Op: "health"})
+	return resp.Health, resp.Role, resp.Epoch, err
 }
 
 // Nodes lists node states.
