@@ -11,6 +11,7 @@ package repro
 // both exercises the full pipeline and prints the reproduced numbers.
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/interference"
 	"repro/internal/job"
+	"repro/internal/parallel"
 	"repro/internal/report"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -230,6 +232,91 @@ func BenchmarkEngineThroughput(b *testing.B) {
 				e.RunAll()
 			}
 			b.ReportMetric(float64(jobCount)*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}
+
+// sweepGrid is the canonical perf-trajectory grid for BENCH_sweep.json:
+// three policies × two loads × two seeds, 150 jobs on 32 Trinity nodes —
+// the same shape the sweep CLI runs, small enough to sample repeatedly.
+type sweepGridSpec struct {
+	Policies []string  `json:"policies"`
+	Loads    []float64 `json:"loads"`
+	Seeds    int       `json:"seeds"`
+	Jobs     int       `json:"jobs"`
+	Nodes    int       `json:"nodes"`
+	Scale    float64   `json:"runtime_scale"`
+}
+
+func benchSweepGrid() sweepGridSpec {
+	return sweepGridSpec{
+		Policies: []string{"easy", "sharefirstfit", "sharebackfill"},
+		Loads:    []float64{0.9, 1.4},
+		Seeds:    2,
+		Jobs:     150,
+		Nodes:    32,
+		Scale:    0.05,
+	}
+}
+
+func (g sweepGridSpec) cells() int { return len(g.Policies) * len(g.Loads) * g.Seeds }
+
+// runSweepGrid executes the grid through the parallel runner exactly as
+// cmd/sweep does: every cell an isolated simulation, results reassembled in
+// grid order.
+func runSweepGrid(g sweepGridSpec, workers int) error {
+	machine := cluster.Trinity(g.Nodes)
+	mix := workload.TrinityMix()
+	type cell struct {
+		policy string
+		load   float64
+		seed   uint64
+	}
+	var cells []cell
+	for _, p := range g.Policies {
+		for _, l := range g.Loads {
+			for s := 0; s < g.Seeds; s++ {
+				cells = append(cells, cell{p, l, uint64(42 + s)})
+			}
+		}
+	}
+	_, err := parallel.Run(len(cells), workers, func(i int) (float64, error) {
+		c := cells[i]
+		jobs, err := workload.Generate(workload.Spec{
+			Mix: mix, Jobs: g.Jobs, Arrival: workload.Poisson, Load: c.load,
+			Cluster: machine, RuntimeScale: g.Scale, Seed: c.seed,
+		})
+		if err != nil {
+			return 0, err
+		}
+		pol, err := sched.New(c.policy, sched.DefaultShareConfig())
+		if err != nil {
+			return 0, err
+		}
+		e := sim.New(sim.Config{Cluster: machine, Policy: pol})
+		if err := e.SubmitAll(jobs); err != nil {
+			return 0, err
+		}
+		e.RunAll()
+		return e.Result().CompEfficiency, nil
+	})
+	return err
+}
+
+// BenchmarkSweepGrid measures experiment-grid throughput in cells/second —
+// the quantity that decides how much statistical power a parameter sweep
+// can afford. workers=1 is the sequential baseline; workers=4 shows the
+// parallel runner's scaling on multicore hosts.
+func BenchmarkSweepGrid(b *testing.B) {
+	g := benchSweepGrid()
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := runSweepGrid(g, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(g.cells()*b.N)/b.Elapsed().Seconds(), "cells/s")
 		})
 	}
 }

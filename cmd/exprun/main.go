@@ -7,18 +7,27 @@
 //	exprun F1 F2 T3              # run selected experiments
 //	exprun -csv -out results F1  # also write results/F1.csv
 //	exprun -seeds 5 -jobs 500    # heavier averaging
+//	exprun -workers 4            # fan experiments across 4 cores
+//
+// Experiments fan out across -workers goroutines (default: all cores); each
+// experiment is an isolated simulation pipeline, and tables are printed in
+// registry order regardless of completion order, so the output is identical
+// for any worker count.
 //
 // Experiment IDs, workloads, and paper-anchored expectations are indexed in
 // DESIGN.md §4; measured-vs-paper numbers are recorded in EXPERIMENTS.md.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
 	"repro/internal/exp"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -32,6 +41,7 @@ func main() {
 	mttr := flag.Float64("fault-mttr", 900, "F12: per-node mean time to repair in seconds")
 	shape := flag.Float64("fault-shape", 1, "F12: Weibull shape of time-to-failure (1 = exponential)")
 	crashProb := flag.Float64("fault-crashprob", 0.02, "F12: per-attempt job crash probability")
+	workers := flag.Int("workers", 0, "parallel experiment workers (0 = all cores)")
 	flag.Parse()
 
 	if *list {
@@ -39,6 +49,12 @@ func main() {
 			fmt.Printf("%-3s %-22s %s\n        expectation: %s\n", e.ID, e.Name, e.Title, e.Paper)
 		}
 		return
+	}
+	if *seeds < 1 {
+		fatal(fmt.Errorf("-seeds must be ≥ 1, got %d", *seeds))
+	}
+	if *csv && *out == "" {
+		fatal(fmt.Errorf("-csv requires -out"))
 	}
 
 	opts := exp.Options{
@@ -57,39 +73,68 @@ func main() {
 	if len(ids) == 0 {
 		ids = exp.IDs()
 	}
-	for _, id := range ids {
+	if err := run(ids, opts, *workers, *out, os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+// rendered is one experiment's output, produced in a worker and emitted in
+// registry order.
+type rendered struct {
+	id    string
+	table []byte
+	csv   []byte
+}
+
+// run executes the selected experiments across workers goroutines and
+// writes their tables to out in the order requested. When csvDir is
+// non-empty, each experiment's CSV is also written to csvDir/<ID>.csv.
+func run(ids []string, opts exp.Options, workers int, csvDir string, out io.Writer) error {
+	// Resolve IDs up front so an unknown experiment fails before any run.
+	exps := make([]exp.Experiment, len(ids))
+	for i, id := range ids {
 		e, err := exp.ByID(id)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		tbl, err := e.Run(opts)
-		if err != nil {
-			fatal(fmt.Errorf("%s: %w", id, err))
-		}
-		if err := tbl.Render(os.Stdout); err != nil {
-			fatal(err)
-		}
-		fmt.Println()
-		if *csv {
-			if *out == "" {
-				fatal(fmt.Errorf("-csv requires -out"))
-			}
-			if err := os.MkdirAll(*out, 0o755); err != nil {
-				fatal(err)
-			}
-			f, err := os.Create(filepath.Join(*out, id+".csv"))
-			if err != nil {
-				fatal(err)
-			}
-			if err := tbl.RenderCSV(f); err != nil {
-				f.Close()
-				fatal(err)
-			}
-			if err := f.Close(); err != nil {
-				fatal(err)
-			}
+		exps[i] = e
+	}
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
 		}
 	}
+	return parallel.RunOrdered(len(exps), workers, func(i int) (rendered, error) {
+		e := exps[i]
+		tbl, err := e.Run(opts)
+		if err != nil {
+			return rendered{}, fmt.Errorf("%s: %w", e.ID, err)
+		}
+		var buf bytes.Buffer
+		if err := tbl.Render(&buf); err != nil {
+			return rendered{}, err
+		}
+		buf.WriteByte('\n')
+		r := rendered{id: e.ID, table: buf.Bytes()}
+		if csvDir != "" {
+			var cbuf bytes.Buffer
+			if err := tbl.RenderCSV(&cbuf); err != nil {
+				return rendered{}, err
+			}
+			r.csv = cbuf.Bytes()
+		}
+		return r, nil
+	}, func(i int, r rendered) error {
+		if _, err := out.Write(r.table); err != nil {
+			return err
+		}
+		if csvDir != "" {
+			if err := os.WriteFile(filepath.Join(csvDir, r.id+".csv"), r.csv, 0o644); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }
 
 func fatal(err error) {

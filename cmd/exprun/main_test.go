@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// testOpts shrinks the experiments so the full test grid runs in about a
+// second while still driving every policy through the scheduler.
+func testOpts() exp.Options {
+	return exp.Options{Seeds: []uint64{42, 43}, Nodes: 32, Jobs: 80, RuntimeScale: 0.02}
+}
+
+func runToBytes(t *testing.T, ids []string, workers int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(ids, testOpts(), workers, "", &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestDifferentialWorkers: the rendered tables must be byte-identical for
+// any worker count — experiments are pure and are emitted in registry
+// order, never completion order.
+func TestDifferentialWorkers(t *testing.T) {
+	ids := []string{"F1", "F2", "T3"}
+	sequential := runToBytes(t, ids, 1)
+	for _, workers := range []int{2, 8} {
+		if par := runToBytes(t, ids, workers); !bytes.Equal(sequential, par) {
+			t.Fatalf("workers=%d output differs from sequential:\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s",
+				workers, sequential, workers, par)
+		}
+	}
+}
+
+// TestGoldenTables pins exprun's rendered output for a fixed seed. The
+// golden file was generated before the scheduler's free-capacity index
+// landed; a diff here means scheduler decisions changed, not just speed.
+func TestGoldenTables(t *testing.T) {
+	got := runToBytes(t, []string{"F1", "T3"}, 4)
+	golden := filepath.Join("testdata", "exprun_golden.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("exprun output diverged from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, got, want)
+	}
+}
+
+func TestRunRejectsUnknownID(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"F1", "ZZ"}, testOpts(), 1, "", &buf); err == nil {
+		t.Fatal("unknown experiment ID accepted")
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("output written despite unknown ID:\n%s", buf.Bytes())
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"T1"}, testOpts(), 2, dir, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "T1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty T1.csv")
+	}
+}

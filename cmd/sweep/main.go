@@ -1,6 +1,11 @@
 // Command sweep runs a policy × load × seed grid and emits one CSV row per
 // run — the bulk data source for plotting beyond the canned experiments.
 //
+// Cells fan out across -workers goroutines (default: all cores). Each cell
+// is a pure function of its seed, and rows are reassembled in grid order —
+// never completion order — so the CSV is byte-identical for any worker
+// count (cmd/sweep's differential test enforces this).
+//
 //	sweep -policies easy,sharebackfill -loads 0.6,0.9,1.2,1.5 -seeds 5 > grid.csv
 package main
 
@@ -8,14 +13,34 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strconv"
-	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/workload"
 )
+
+// config is a fully validated sweep invocation.
+type config struct {
+	policies []string
+	loads    []float64
+	seeds    int
+	nodes    int
+	jobs     int
+	mix      workload.Mix
+	scale    float64
+	workers  int
+}
+
+// cell is one grid coordinate; the grid is policy-major, then load, then
+// seed, matching the original sequential loop nest.
+type cell struct {
+	policy string
+	load   float64
+	seed   uint64
+}
 
 func main() {
 	policies := flag.String("policies", "easy,sharefirstfit,sharebackfill",
@@ -26,73 +51,122 @@ func main() {
 	jobs := flag.Int("jobs", 300, "jobs per run")
 	mixName := flag.String("mix", "trinity", "application mix")
 	scale := flag.Float64("scale", 0.05, "runtime scale")
+	workers := flag.Int("workers", 0, "parallel grid workers (0 = all cores)")
 	flag.Parse()
 
-	mix, err := workload.MixByName(*mixName)
+	cfg, err := validate(*policies, *loads, *seeds, *nodes, *jobs, *mixName, *scale, *workers)
 	if err != nil {
 		fatal(err)
 	}
-	var loadVals []float64
-	for _, s := range strings.Split(*loads, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
-		if err != nil {
-			fatal(fmt.Errorf("bad load %q: %w", s, err))
+	if err := run(cfg, os.Stdout); err != nil {
+		// Completed rows were already flushed by run; exit non-zero without
+		// dropping them.
+		fatal(err)
+	}
+}
+
+// validate checks every flag up front so the grid never starts doomed.
+func validate(policies, loads string, seeds, nodes, jobs int, mixName string,
+	scale float64, workers int) (config, error) {
+
+	var cfg config
+	var err error
+	if cfg.policies, err = parsePolicies(policies); err != nil {
+		return config{}, err
+	}
+	if cfg.loads, err = parseLoads(loads); err != nil {
+		return config{}, err
+	}
+	if seeds < 1 {
+		return config{}, fmt.Errorf("-seeds must be ≥ 1, got %d", seeds)
+	}
+	if nodes < 1 {
+		return config{}, fmt.Errorf("-nodes must be ≥ 1, got %d", nodes)
+	}
+	if jobs < 1 {
+		return config{}, fmt.Errorf("-jobs must be ≥ 1, got %d", jobs)
+	}
+	if !(scale > 0) {
+		return config{}, fmt.Errorf("-scale must be > 0, got %g", scale)
+	}
+	if cfg.mix, err = workload.MixByName(mixName); err != nil {
+		return config{}, err
+	}
+	cfg.seeds, cfg.nodes, cfg.jobs, cfg.scale = seeds, nodes, jobs, scale
+	cfg.workers = workers
+	return cfg, nil
+}
+
+// run executes the grid and streams CSV rows to out in grid order. On error
+// the completed row prefix is flushed before returning, so a mid-grid
+// failure never discards finished work.
+func run(cfg config, out io.Writer) error {
+	cells := make([]cell, 0, len(cfg.policies)*len(cfg.loads)*cfg.seeds)
+	for _, policy := range cfg.policies {
+		for _, load := range cfg.loads {
+			for s := 0; s < cfg.seeds; s++ {
+				cells = append(cells, cell{policy: policy, load: load, seed: uint64(42 + s)})
+			}
 		}
-		loadVals = append(loadVals, v)
 	}
 
-	w := csv.NewWriter(os.Stdout)
-	defer w.Flush()
+	w := csv.NewWriter(out)
 	if err := w.Write([]string{
 		"policy", "load", "seed", "finished", "makespan_s",
 		"comp_efficiency", "sched_efficiency", "utilization", "shared_fraction",
 		"wait_mean_s", "wait_p95_s", "slowdown_mean", "stretch_mean",
 	}); err != nil {
-		fatal(err)
+		return err
 	}
 
-	machine := cluster.Trinity(*nodes)
-	for _, policy := range strings.Split(*policies, ",") {
-		policy = strings.TrimSpace(policy)
-		for _, load := range loadVals {
-			for s := 0; s < *seeds; s++ {
-				seed := uint64(42 + s)
-				generated, err := workload.Generate(workload.Spec{
-					Mix: mix, Jobs: *jobs, Arrival: workload.Poisson, Load: load,
-					Cluster: machine, RuntimeScale: *scale, Seed: seed,
-				})
-				if err != nil {
-					fatal(err)
-				}
-				sys, err := core.NewSystem(core.Config{Machine: machine, Policy: policy})
-				if err != nil {
-					fatal(err)
-				}
-				if err := sys.SubmitJobs(generated); err != nil {
-					fatal(err)
-				}
-				sys.Run()
-				r := sys.Metrics()
-				if err := w.Write([]string{
-					policy,
-					fmt.Sprintf("%g", load),
-					fmt.Sprintf("%d", seed),
-					fmt.Sprintf("%d", r.Finished),
-					fmt.Sprintf("%.1f", float64(r.Makespan)),
-					fmt.Sprintf("%.4f", r.CompEfficiency),
-					fmt.Sprintf("%.4f", r.SchedEfficiency),
-					fmt.Sprintf("%.4f", r.Utilization),
-					fmt.Sprintf("%.4f", r.SharedFraction),
-					fmt.Sprintf("%.1f", r.Wait.Mean),
-					fmt.Sprintf("%.1f", r.Wait.P95),
-					fmt.Sprintf("%.3f", r.Slowdown.Mean),
-					fmt.Sprintf("%.4f", r.Stretch.Mean),
-				}); err != nil {
-					fatal(err)
-				}
-			}
-		}
+	machine := cluster.Trinity(cfg.nodes)
+	err := parallel.RunOrdered(len(cells), cfg.workers,
+		func(i int) ([]string, error) { return runCell(cfg, machine, cells[i]) },
+		func(i int, row []string) error { return w.Write(row) })
+	// Flush whatever reached the writer — on failure that is every row below
+	// the first failing cell — before reporting the error.
+	w.Flush()
+	if err != nil {
+		return err
 	}
+	return w.Error()
+}
+
+// runCell executes one grid cell: an isolated simulation built entirely from
+// the cell's coordinates (its own workload, cluster, and engine), safe to
+// run concurrently with any other cell.
+func runCell(cfg config, machine cluster.Config, c cell) ([]string, error) {
+	generated, err := workload.Generate(workload.Spec{
+		Mix: cfg.mix, Jobs: cfg.jobs, Arrival: workload.Poisson, Load: c.load,
+		Cluster: machine, RuntimeScale: cfg.scale, Seed: c.seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sys, err := core.NewSystem(core.Config{Machine: machine, Policy: c.policy})
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.SubmitJobs(generated); err != nil {
+		return nil, err
+	}
+	sys.Run()
+	r := sys.Metrics()
+	return []string{
+		c.policy,
+		fmt.Sprintf("%g", c.load),
+		fmt.Sprintf("%d", c.seed),
+		fmt.Sprintf("%d", r.Finished),
+		fmt.Sprintf("%.1f", float64(r.Makespan)),
+		fmt.Sprintf("%.4f", r.CompEfficiency),
+		fmt.Sprintf("%.4f", r.SchedEfficiency),
+		fmt.Sprintf("%.4f", r.Utilization),
+		fmt.Sprintf("%.4f", r.SharedFraction),
+		fmt.Sprintf("%.1f", r.Wait.Mean),
+		fmt.Sprintf("%.1f", r.Wait.P95),
+		fmt.Sprintf("%.3f", r.Slowdown.Mean),
+		fmt.Sprintf("%.4f", r.Stretch.Mean),
+	}, nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/sched"
+)
+
+// splitList splits a comma-separated flag value into trimmed entries,
+// rejecting empties up front (leading/trailing/duplicate commas or an empty
+// value) so a malformed flag fails before any grid cell runs instead of
+// fataling mid-grid.
+func splitList(flagName, s string) ([]string, error) {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("-%s %q: empty entry (stray comma?)", flagName, s)
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-%s: needs at least one entry", flagName)
+	}
+	return out, nil
+}
+
+// parsePolicies validates the -policies flag: a non-empty comma list of
+// registry policy names.
+func parsePolicies(s string) ([]string, error) {
+	names, err := splitList("policies", s)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
+		if _, err := sched.New(name, sched.ShareConfig{}); err != nil {
+			return nil, fmt.Errorf("-policies: %w (known: %s)", err, strings.Join(sched.Names(), ", "))
+		}
+	}
+	return names, nil
+}
+
+// parseLoads validates the -loads flag: a non-empty comma list of positive,
+// finite offered loads.
+func parseLoads(s string) ([]float64, error) {
+	entries, err := splitList("loads", s)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, 0, len(entries))
+	for _, e := range entries {
+		v, err := strconv.ParseFloat(e, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-loads: bad load %q: %w", e, err)
+		}
+		// ParseFloat accepts "NaN" and "Inf"; an offered load must be a
+		// positive finite arrival-rate multiplier.
+		if !(v > 0) || v > 1e9 {
+			return nil, fmt.Errorf("-loads: load %q out of range (want 0 < load ≤ 1e9)", e)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

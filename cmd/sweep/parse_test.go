@@ -1,0 +1,93 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSplitListRejectsEmptyEntries(t *testing.T) {
+	for _, bad := range []string{"", ",", "a,", ",a", "a,,b", " , ", "a, ,b"} {
+		if out, err := splitList("x", bad); err == nil {
+			t.Errorf("splitList(%q) = %v, want error", bad, out)
+		}
+	}
+}
+
+func TestParsePoliciesKnowsRegistry(t *testing.T) {
+	names, err := parsePolicies("fcfs,firstfit,easy,conservative,sharefirstfit,sharebackfill,shareconservative")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 7 {
+		t.Fatalf("got %d policies", len(names))
+	}
+	if _, err := parsePolicies("easy,slurm"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestParseLoadsValues(t *testing.T) {
+	loads, err := parseLoads("0.6, 0.9 ,1.2,1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.6, 0.9, 1.2, 1.5}
+	for i, v := range want {
+		if loads[i] != v {
+			t.Fatalf("loads = %v, want %v", loads, want)
+		}
+	}
+	for _, bad := range []string{"0", "-1", "NaN", "+Inf", "-Inf", "1e300", "0x", "1.0,oops"} {
+		if out, err := parseLoads(bad); err == nil {
+			t.Errorf("parseLoads(%q) = %v, want error", bad, out)
+		}
+	}
+}
+
+// FuzzParseLoads asserts the parser never panics and that every accepted
+// load list round-trips to positive finite values with no empty entries.
+func FuzzParseLoads(f *testing.F) {
+	for _, seed := range []string{"0.6,0.9,1.2,1.5", "1", "", ",", "1,,2", " 2 ", "NaN", "1e9", "-3", "0.5,"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		loads, err := parseLoads(s)
+		if err != nil {
+			return
+		}
+		if len(loads) == 0 {
+			t.Fatalf("parseLoads(%q) accepted an empty list", s)
+		}
+		if len(loads) != strings.Count(s, ",")+1 {
+			t.Fatalf("parseLoads(%q) = %v: entry count mismatch", s, loads)
+		}
+		for _, v := range loads {
+			if !(v > 0) || math.IsInf(v, 0) || math.IsNaN(v) {
+				t.Fatalf("parseLoads(%q) accepted non-positive/non-finite %v", s, v)
+			}
+		}
+	})
+}
+
+// FuzzParsePolicies asserts the parser never panics and only ever accepts
+// trimmed, non-empty registry names.
+func FuzzParsePolicies(f *testing.F) {
+	for _, seed := range []string{"easy", "easy,sharebackfill", "", ",", "easy,,easy", " fcfs ", "EASY"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		names, err := parsePolicies(s)
+		if err != nil {
+			return
+		}
+		if len(names) == 0 {
+			t.Fatalf("parsePolicies(%q) accepted an empty list", s)
+		}
+		for _, n := range names {
+			if n == "" || n != strings.TrimSpace(n) {
+				t.Fatalf("parsePolicies(%q) kept untrimmed/empty entry %q", s, n)
+			}
+		}
+	})
+}

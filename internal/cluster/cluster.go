@@ -82,19 +82,30 @@ type Node struct {
 	free    int           // free hardware threads
 	drained bool          // administratively removed from scheduling
 	down    bool          // failed hardware: no allocations until repaired
+
+	// Incrementally maintained counters backing the free-capacity index
+	// (see index.go): per-layer free-thread counts and the node's total
+	// reserved memory, so LayerFree and MemFreeMB are O(1) on the
+	// scheduler's candidate-scan hot path.
+	freeInLayer []int // free threads per SMT layer; layer fully free at cores
+	memUsedSum  int   // total reserved memory, MB
 }
 
 func newNode(id int, cfg Config) *Node {
 	n := &Node{
-		id:      id,
-		cores:   cfg.CoresPerNode,
-		tpc:     cfg.ThreadsPerCore,
-		memMB:   cfg.MemoryPerNodeMB,
-		owner:   make([]JobID, cfg.ThreadsPerNode()),
-		memUsed: make(map[JobID]int),
-		threads: make(map[JobID]int),
+		id:          id,
+		cores:       cfg.CoresPerNode,
+		tpc:         cfg.ThreadsPerCore,
+		memMB:       cfg.MemoryPerNodeMB,
+		owner:       make([]JobID, cfg.ThreadsPerNode()),
+		memUsed:     make(map[JobID]int),
+		threads:     make(map[JobID]int),
+		freeInLayer: make([]int, cfg.ThreadsPerCore),
 	}
 	n.free = len(n.owner)
+	for l := range n.freeInLayer {
+		n.freeInLayer[l] = n.cores
+	}
 	return n
 }
 
@@ -133,13 +144,7 @@ func (n *Node) Down() bool { return n.down }
 func (n *Node) Available() bool { return !n.drained && !n.down }
 
 // MemFreeMB returns the unreserved memory on the node.
-func (n *Node) MemFreeMB() int {
-	used := 0
-	for _, m := range n.memUsed {
-		used += m
-	}
-	return n.memMB - used
-}
+func (n *Node) MemFreeMB() int { return n.memMB - n.memUsedSum }
 
 // Owner returns the job holding hardware thread t, or NoJob.
 func (n *Node) Owner(t int) JobID { return n.owner[t] }
@@ -251,6 +256,8 @@ type Cluster struct {
 	nodes []*Node
 	// jobNodes tracks which node indices each job occupies.
 	jobNodes map[JobID][]int
+	// idx is the incremental free-capacity index (see index.go).
+	idx *index
 }
 
 // New builds a cluster from cfg. It panics on invalid configuration: cluster
@@ -260,7 +267,7 @@ func New(cfg Config) *Cluster {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	c := &Cluster{cfg: cfg, jobNodes: make(map[JobID][]int)}
+	c := &Cluster{cfg: cfg, jobNodes: make(map[JobID][]int), idx: newIndex(cfg)}
 	c.nodes = make([]*Node, cfg.Nodes)
 	for i := range c.nodes {
 		c.nodes[i] = newNode(i, cfg)
@@ -340,11 +347,15 @@ func (c *Cluster) Allocate(p Placement) error {
 		n := c.nodes[np.Node]
 		for _, t := range np.Threads {
 			n.owner[t] = p.Job
+			n.freeInLayer[t%n.tpc]--
 		}
 		n.free -= len(np.Threads)
 		n.threads[p.Job] += len(np.Threads)
 		n.memUsed[p.Job] += np.MemoryMB
+		n.memUsedSum += np.MemoryMB
 		c.jobNodes[p.Job] = append(c.jobNodes[p.Job], np.Node)
+		c.idx.busyThreads += len(np.Threads)
+		c.reindexNode(np.Node)
 	}
 	return nil
 }
@@ -363,10 +374,14 @@ func (c *Cluster) Release(id JobID) ([]int, error) {
 			if o == id {
 				n.owner[t] = NoJob
 				n.free++
+				n.freeInLayer[t%n.tpc]++
+				c.idx.busyThreads--
 			}
 		}
+		n.memUsedSum -= n.memUsed[id]
 		delete(n.threads, id)
 		delete(n.memUsed, id)
+		c.reindexNode(ni)
 	}
 	delete(c.jobNodes, id)
 	return nodes, nil
@@ -392,6 +407,7 @@ func (c *Cluster) Holds(id JobID) bool {
 // placements from landing there.
 func (c *Cluster) SetDrained(ni int, drained bool) {
 	c.Node(ni).drained = drained
+	c.reindexNode(ni)
 }
 
 // DrainedNodes returns the indices of drained nodes, ascending.
@@ -415,6 +431,7 @@ func (c *Cluster) SetDown(ni int, down bool) {
 		panic(fmt.Sprintf("cluster: node %d set down with %d resident jobs", ni, len(n.threads)))
 	}
 	n.down = down
+	c.reindexNode(ni)
 }
 
 // DownNodes returns the indices of down nodes, ascending.

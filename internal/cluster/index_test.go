@@ -1,0 +1,205 @@
+package cluster
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// bruteIdleNodes recomputes IdleNodes the pre-index way: a full rescan using
+// only per-node accessors that read the owner array directly.
+func bruteIdleNodes(c *Cluster) []int {
+	var out []int
+	for i := 0; i < c.Size(); i++ {
+		n := c.Node(i)
+		if n.Idle() && n.Available() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func bruteLayerFree(c *Cluster, ni int, l Layer) bool {
+	n := c.Node(ni)
+	if int(l) < 0 || int(l) >= n.ThreadsPerCore() {
+		return false
+	}
+	return len(n.FreeSiblingThreads(int(l))) == n.Cores()
+}
+
+func bruteShareCandidates(c *Cluster, l Layer, memMB int) []int {
+	var out []int
+	for i := 0; i < c.Size(); i++ {
+		n := c.Node(i)
+		if n.Idle() || !n.Available() || !bruteLayerFree(c, i, l) {
+			continue
+		}
+		if bruteMemFree(n) < memMB {
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+// bruteMemFree recomputes free memory from the per-job map, the index-free
+// source of truth.
+func bruteMemFree(n *Node) int {
+	used := 0
+	for _, id := range n.Jobs() {
+		used += n.JobMemoryMB(id)
+	}
+	return n.MemoryMB() - used
+}
+
+func bruteBusyFreeLayerNodes(c *Cluster) []int {
+	var out []int
+	for i := 0; i < c.Size(); i++ {
+		n := c.Node(i)
+		if n.Idle() || !n.Available() {
+			continue
+		}
+		for l := 0; l < n.ThreadsPerCore(); l++ {
+			if bruteLayerFree(c, i, Layer(l)) {
+				out = append(out, i)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkIndex cross-checks every indexed query against a brute-force rescan.
+func checkIndex(t *testing.T, c *Cluster, step int) {
+	t.Helper()
+	if got, want := c.IdleNodes(), bruteIdleNodes(c); !equalInts(got, want) {
+		t.Fatalf("step %d: IdleNodes = %v, brute force = %v", step, got, want)
+	}
+	if got, want := c.CountIdle(), len(bruteIdleNodes(c)); got != want {
+		t.Fatalf("step %d: CountIdle = %d, brute force = %d", step, got, want)
+	}
+	if got, want := c.BusyFreeLayerNodes(), bruteBusyFreeLayerNodes(c); !equalInts(got, want) {
+		t.Fatalf("step %d: BusyFreeLayerNodes = %v, brute force = %v", step, got, want)
+	}
+	busyThreads, busyNodes, sharedNodes := 0, 0, 0
+	for i := 0; i < c.Size(); i++ {
+		n := c.Node(i)
+		busyThreads += n.Threads() - n.FreeThreads()
+		if !n.Idle() {
+			busyNodes++
+		}
+		if n.SharingDegree() >= 2 {
+			sharedNodes++
+		}
+		if got, want := n.MemFreeMB(), bruteMemFree(n); got != want {
+			t.Fatalf("step %d: node %d MemFreeMB = %d, brute force = %d", step, i, got, want)
+		}
+		for l := 0; l < n.ThreadsPerCore(); l++ {
+			if got, want := c.LayerFree(i, Layer(l)), bruteLayerFree(c, i, Layer(l)); got != want {
+				t.Fatalf("step %d: LayerFree(%d, %d) = %v, brute force = %v", step, i, l, got, want)
+			}
+		}
+	}
+	if got := c.BusyThreads(); got != busyThreads {
+		t.Fatalf("step %d: BusyThreads = %d, brute force = %d", step, got, busyThreads)
+	}
+	if got := c.BusyNodes(); got != busyNodes {
+		t.Fatalf("step %d: BusyNodes = %d, brute force = %d", step, got, busyNodes)
+	}
+	if got := c.SharedNodes(); got != sharedNodes {
+		t.Fatalf("step %d: SharedNodes = %d, brute force = %d", step, got, sharedNodes)
+	}
+	for l := 0; l < c.Config().ThreadsPerCore; l++ {
+		for _, mem := range []int{0, 1024, 64 * 1024} {
+			got := c.ShareCandidates(Layer(l), mem)
+			want := bruteShareCandidates(c, Layer(l), mem)
+			if !equalInts(got, want) {
+				t.Fatalf("step %d: ShareCandidates(%d, %d) = %v, brute force = %v", step, l, mem, got, want)
+			}
+		}
+	}
+}
+
+// TestProperty_IndexMatchesRescan hammers the cluster with a random but
+// deterministic mix of layer/exclusive allocations, releases, drains, and
+// down/repair cycles, cross-checking every indexed query against a full
+// rescan after each step. This is the safety argument for the free-capacity
+// index: indexed answers are exactly the rescan answers, at every reachable
+// state.
+func TestProperty_IndexMatchesRescan(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	cfg := Config{Nodes: 24, CoresPerNode: 4, ThreadsPerCore: 2, MemoryPerNodeMB: 8192}
+	c := New(cfg)
+	var live []JobID
+	nextID := JobID(1)
+
+	for step := 0; step < 2500; step++ {
+		switch op := rng.IntN(10); {
+		case op < 4: // allocate a layer placement on 1–4 usable nodes
+			layer := Layer(rng.IntN(cfg.ThreadsPerCore))
+			var nodes []int
+			for ni := 0; ni < cfg.Nodes && len(nodes) < 1+rng.IntN(4); ni++ {
+				n := c.Node(ni)
+				if n.Available() && c.LayerFree(ni, layer) && n.MemFreeMB() >= 1024 {
+					nodes = append(nodes, ni)
+				}
+			}
+			if len(nodes) == 0 {
+				continue
+			}
+			id := nextID
+			nextID++
+			if err := c.Allocate(c.LayerPlacement(id, nodes, layer, 1024)); err != nil {
+				t.Fatalf("step %d: layer allocate: %v", step, err)
+			}
+			live = append(live, id)
+		case op < 6: // allocate an exclusive placement on 1–2 idle nodes
+			idle := c.IdleNodes()
+			if len(idle) == 0 {
+				continue
+			}
+			k := 1 + rng.IntN(2)
+			if k > len(idle) {
+				k = len(idle)
+			}
+			id := nextID
+			nextID++
+			if err := c.Allocate(c.ExclusivePlacement(id, idle[:k], 2048)); err != nil {
+				t.Fatalf("step %d: exclusive allocate: %v", step, err)
+			}
+			live = append(live, id)
+		case op < 8: // release a random live job
+			if len(live) == 0 {
+				continue
+			}
+			i := rng.IntN(len(live))
+			if _, err := c.Release(live[i]); err != nil {
+				t.Fatalf("step %d: release: %v", step, err)
+			}
+			live = append(live[:i], live[i+1:]...)
+		case op < 9: // toggle drain on a random node
+			ni := rng.IntN(cfg.Nodes)
+			c.SetDrained(ni, !c.Node(ni).Drained())
+		default: // down/repair a random empty node
+			ni := rng.IntN(cfg.Nodes)
+			n := c.Node(ni)
+			if n.Down() {
+				c.SetDown(ni, false)
+			} else if n.SharingDegree() == 0 {
+				c.SetDown(ni, true)
+			}
+		}
+		checkIndex(t, c, step)
+	}
+}

@@ -16,13 +16,14 @@ const (
 )
 
 // LayerFree reports whether every thread of the given layer is free on node
-// ni.
+// ni. O(1) via the node's per-layer free counters — this is the scheduler's
+// innermost candidate probe.
 func (c *Cluster) LayerFree(ni int, l Layer) bool {
 	n := c.Node(ni)
 	if int(l) < 0 || int(l) >= n.tpc {
 		return false
 	}
-	return len(n.FreeSiblingThreads(int(l))) == n.cores
+	return n.freeInLayer[l] == n.cores
 }
 
 // LayerThreads returns the thread indices making up layer l on node ni.
@@ -68,78 +69,43 @@ func (c *Cluster) LayerPlacement(id JobID, nodes []int, l Layer, memPerNodeMB in
 }
 
 // IdleNodes returns the indices of fully idle, schedulable (neither drained
-// nor down) nodes, ascending.
+// nor down) nodes, ascending. Served from the free-capacity index: the walk
+// touches set bits only, not every node.
 func (c *Cluster) IdleNodes() []int {
+	if c.idx.idleAvail.count == 0 {
+		return nil
+	}
+	return c.idx.idleAvail.appendTo(make([]int, 0, c.idx.idleAvail.count))
+}
+
+// CountIdle returns the number of fully idle, schedulable nodes.
+func (c *Cluster) CountIdle() int { return c.idx.idleAvail.count }
+
+// ShareCandidates returns the indices of nodes where layer l is entirely
+// free, at least memMB of memory is available, and the node is not idle
+// (i.e. a co-allocation target: someone is already there). Ascending order,
+// enumerated from the free-capacity index.
+func (c *Cluster) ShareCandidates(l Layer, memMB int) []int {
+	if int(l) < 0 || int(l) >= c.cfg.ThreadsPerCore {
+		return nil
+	}
 	var out []int
-	for i, n := range c.nodes {
-		if n.Idle() && n.Available() {
+	for _, i := range c.idx.layerFreeBusy[l].appendTo(nil) {
+		if c.nodes[i].MemFreeMB() >= memMB {
 			out = append(out, i)
 		}
 	}
 	return out
 }
 
-// CountIdle returns the number of fully idle, schedulable nodes.
-func (c *Cluster) CountIdle() int {
-	k := 0
-	for _, n := range c.nodes {
-		if n.Idle() && n.Available() {
-			k++
-		}
-	}
-	return k
-}
-
-// ShareCandidates returns the indices of nodes where layer l is entirely
-// free, at least memMB of memory is available, and the node is not idle
-// (i.e. a co-allocation target: someone is already there). Ascending order.
-func (c *Cluster) ShareCandidates(l Layer, memMB int) []int {
-	var out []int
-	for i, n := range c.nodes {
-		if n.Idle() || !n.Available() {
-			continue
-		}
-		if !c.LayerFree(i, l) {
-			continue
-		}
-		if n.MemFreeMB() < memMB {
-			continue
-		}
-		out = append(out, i)
-	}
-	return out
-}
-
 // BusyThreads returns the number of allocated hardware threads cluster-wide.
-func (c *Cluster) BusyThreads() int {
-	busy := 0
-	for _, n := range c.nodes {
-		busy += n.Threads() - n.FreeThreads()
-	}
-	return busy
-}
+func (c *Cluster) BusyThreads() int { return c.idx.busyThreads }
 
 // BusyNodes returns the number of nodes with at least one allocated thread.
-func (c *Cluster) BusyNodes() int {
-	busy := 0
-	for _, n := range c.nodes {
-		if !n.Idle() {
-			busy++
-		}
-	}
-	return busy
-}
+func (c *Cluster) BusyNodes() int { return c.idx.nonIdle.count }
 
 // SharedNodes returns the number of nodes occupied by two or more jobs.
-func (c *Cluster) SharedNodes() int {
-	shared := 0
-	for _, n := range c.nodes {
-		if n.SharingDegree() >= 2 {
-			shared++
-		}
-	}
-	return shared
-}
+func (c *Cluster) SharedNodes() int { return c.idx.shared.count }
 
 // Utilization returns the fraction of hardware threads allocated, in [0, 1].
 func (c *Cluster) Utilization() float64 {

@@ -13,6 +13,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/job"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/report"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -224,16 +225,19 @@ func runScenario(sc scenario) (metrics.Result, error) {
 	return r, err
 }
 
-// seedMean runs the scenario across seeds and returns per-seed results.
+// seedMean runs the scenario across seeds and returns per-seed results in
+// seed order. Seeds fan out across all cores: each run is an isolated
+// simulation (its own workload RNG stream, cluster, policy, and engine), and
+// results are reassembled in seed order — never completion order — so the
+// averages are bit-identical to a sequential loop.
 func seedMean(sc scenario, seeds []uint64) ([]metrics.Result, error) {
-	out := make([]metrics.Result, 0, len(seeds))
-	for _, seed := range seeds {
-		sc.seed = seed
-		r, err := runScenario(sc)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
+	out, err := parallel.Run(len(seeds), 0, func(i int) (metrics.Result, error) {
+		run := sc
+		run.seed = seeds[i]
+		return runScenario(run)
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

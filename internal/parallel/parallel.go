@@ -1,0 +1,159 @@
+// Package parallel runs embarrassingly parallel experiment grids across a
+// worker pool while preserving deterministic, sequential-equivalent output.
+//
+// The evaluation's sweeps are grids of independent cells (policy × load ×
+// seed): each cell is a pure function of its index — it builds its own
+// cluster, policy, interference model, and RNG stream from the seed, and
+// shares no mutable state with any other cell. That purity is exactly what
+// makes fan-out safe: the only thing a worker pool could change is the
+// *order* in which cells complete, so this package reassembles results in
+// grid-index order — never completion order — before they reach the caller.
+// A grid run with N workers is therefore byte-identical to the same grid run
+// with one worker (a property the sweep CLI's differential test enforces).
+//
+// Error semantics are deterministic too: the reported failure is always the
+// one at the lowest grid index, and every result below that index is still
+// delivered, so callers can flush the completed prefix (e.g. CSV rows)
+// before exiting.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// CellError reports the lowest-index cell failure of a grid run.
+type CellError struct {
+	// Index is the grid index of the failing cell.
+	Index int
+	// Err is the cell's error.
+	Err error
+}
+
+// Error implements error.
+func (e *CellError) Error() string { return fmt.Sprintf("cell %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the underlying cell error to errors.Is/As.
+func (e *CellError) Unwrap() error { return e.Err }
+
+// Workers normalizes a worker-count flag: values below 1 select
+// GOMAXPROCS (use every core the runtime will schedule on).
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// result carries one finished cell back to the reassembly loop.
+type result[T any] struct {
+	index int
+	value T
+	err   error
+}
+
+// Run executes fn(0), …, fn(n-1) across a pool of workers goroutines and
+// returns the results in index order. fn must be safe for concurrent
+// invocation on distinct indices (grid cells are pure and shared-nothing).
+//
+// On failure Run returns a *CellError for the lowest failing index; the
+// returned slice is still fully allocated and every entry below that index
+// holds its cell's result (the completed prefix).
+func Run[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := RunOrdered(n, workers, fn, func(i int, v T) error {
+		out[i] = v
+		return nil
+	})
+	return out, err
+}
+
+// RunOrdered executes fn(0), …, fn(n-1) across a pool of workers goroutines
+// and streams results to consume in strictly ascending index order as the
+// completed prefix grows — the streaming form of Run, for callers that write
+// rows incrementally. consume runs on the calling goroutine.
+//
+// If a cell fails, consume still receives every result below the lowest
+// failing index, then RunOrdered returns a *CellError for that index. If
+// consume itself returns an error, no further cells are consumed and that
+// error is returned as-is. In both cases in-flight cells are allowed to
+// finish but no new cells are started.
+func RunOrdered[T any](n, workers int, fn func(i int) (T, error), consume func(i int, v T) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+
+	var (
+		next    atomic.Int64 // next grid index to claim
+		stop    atomic.Bool  // set on first failure; stops new claims
+		results = make(chan result[T], workers)
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stop.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				v, err := fn(i)
+				results <- result[T]{index: i, value: v, err: err}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Reassemble in grid order: stash out-of-order completions until the
+	// head of the prefix arrives.
+	pending := make(map[int]result[T])
+	nextConsume := 0
+	var firstErr error
+	for r := range results {
+		if firstErr != nil {
+			continue // draining after a failure
+		}
+		if r.err != nil {
+			// Stop claiming new cells now; indices are claimed in ascending
+			// order, so everything below this index is already in flight and
+			// will still be delivered. The ordered scan below decides which
+			// failure is the lowest-index one to report.
+			stop.Store(true)
+		}
+		pending[r.index] = r
+		for {
+			head, ok := pending[nextConsume]
+			if !ok {
+				break
+			}
+			delete(pending, nextConsume)
+			if head.err != nil {
+				// Lowest-index failure: everything below it was already
+				// consumed, so this is the deterministic error to report.
+				firstErr = &CellError{Index: head.index, Err: head.err}
+				stop.Store(true)
+				break
+			}
+			if err := consume(head.index, head.value); err != nil {
+				firstErr = err
+				stop.Store(true)
+				break
+			}
+			nextConsume++
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,209 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunOrderMatchesSequential(t *testing.T) {
+	cell := func(i int) (int, error) { return i * i, nil }
+	want, err := Run(100, 1, cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16, 100} {
+		got, err := Run(100, workers, cell)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: index %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRunOrderedStreamsAscending(t *testing.T) {
+	// Delay cells pseudo-randomly so completion order differs from grid
+	// order; the consume callback must still see strictly ascending indices.
+	rng := rand.New(rand.NewPCG(1, 2))
+	delays := make([]time.Duration, 64)
+	for i := range delays {
+		delays[i] = time.Duration(rng.Int64N(int64(2 * time.Millisecond)))
+	}
+	var seen []int
+	err := RunOrdered(len(delays), 8, func(i int) (int, error) {
+		time.Sleep(delays[i])
+		return i, nil
+	}, func(i, v int) error {
+		if i != v {
+			t.Errorf("consume(%d, %d): index/value mismatch", i, v)
+		}
+		seen = append(seen, i)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(delays) {
+		t.Fatalf("consumed %d of %d cells", len(seen), len(delays))
+	}
+	for i, v := range seen {
+		if v != i {
+			t.Fatalf("consume order %v not ascending at position %d", seen[:i+1], i)
+		}
+	}
+}
+
+func TestRunZeroAndNegative(t *testing.T) {
+	out, err := Run(0, 4, func(i int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("n=0: got (%v, %v), want empty", out, err)
+	}
+	if err := RunOrdered(-3, 4, func(i int) (int, error) { return 0, nil },
+		func(i, v int) error { t.Fatal("consume called for n<0"); return nil }); err != nil {
+		t.Fatalf("n<0: %v", err)
+	}
+}
+
+func TestWorkersDefault(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-1); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-1) = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(7); got != 7 {
+		t.Fatalf("Workers(7) = %d", got)
+	}
+}
+
+func TestErrorIsLowestIndexAndPrefixDelivered(t *testing.T) {
+	// Several cells fail; the reported error must be the lowest failing
+	// index regardless of completion order, and every result below it must
+	// reach the consumer.
+	failAt := map[int]bool{23: true, 7: true, 61: true}
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 3, 8, 64} {
+		var consumed []int
+		err := RunOrdered(64, workers, func(i int) (int, error) {
+			if failAt[i] {
+				return 0, fmt.Errorf("cell says: %w", boom)
+			}
+			return i, nil
+		}, func(i, v int) error {
+			consumed = append(consumed, i)
+			return nil
+		})
+		var ce *CellError
+		if !errors.As(err, &ce) {
+			t.Fatalf("workers=%d: error %v is not a *CellError", workers, err)
+		}
+		if ce.Index != 7 {
+			t.Fatalf("workers=%d: reported index %d, want 7 (lowest)", workers, ce.Index)
+		}
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: error chain lost the cell error: %v", workers, err)
+		}
+		if len(consumed) != 7 {
+			t.Fatalf("workers=%d: consumed %v, want exactly indices 0..6", workers, consumed)
+		}
+		for i, v := range consumed {
+			if v != i {
+				t.Fatalf("workers=%d: consumed %v, want 0..6 in order", workers, consumed)
+			}
+		}
+	}
+}
+
+func TestRunErrorKeepsPrefixResults(t *testing.T) {
+	out, err := Run(20, 4, func(i int) (int, error) {
+		if i == 11 {
+			return 0, errors.New("nope")
+		}
+		return i + 1, nil
+	})
+	var ce *CellError
+	if !errors.As(err, &ce) || ce.Index != 11 {
+		t.Fatalf("error = %v, want CellError at 11", err)
+	}
+	if len(out) != 20 {
+		t.Fatalf("result slice length %d, want full allocation 20", len(out))
+	}
+	for i := 0; i < 11; i++ {
+		if out[i] != i+1 {
+			t.Fatalf("prefix result %d = %d, want %d", i, out[i], i+1)
+		}
+	}
+}
+
+func TestConsumeErrorStopsRun(t *testing.T) {
+	stopErr := errors.New("writer full")
+	var started atomic.Int64
+	err := RunOrdered(1000, 4, func(i int) (int, error) {
+		started.Add(1)
+		return i, nil
+	}, func(i, v int) error {
+		if i == 5 {
+			return stopErr
+		}
+		return nil
+	})
+	if !errors.Is(err, stopErr) {
+		t.Fatalf("error = %v, want the consume error", err)
+	}
+	if n := started.Load(); n == 1000 {
+		t.Fatalf("all %d cells ran despite early consume error", n)
+	}
+}
+
+func TestErrorStopsClaimingNewCells(t *testing.T) {
+	var started atomic.Int64
+	_, err := Run(100000, 2, func(i int) (int, error) {
+		started.Add(1)
+		if i == 0 {
+			return 0, errors.New("immediate")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if n := started.Load(); n == 100000 {
+		t.Fatal("entire grid ran despite an index-0 failure")
+	}
+}
+
+// TestPoolHammer drives a large grid through many workers with work that
+// yields aggressively, as a -race target for the claim counter, result
+// channel, and reassembly buffer.
+func TestPoolHammer(t *testing.T) {
+	const n = 20000
+	var calls atomic.Int64
+	sum := 0
+	err := RunOrdered(n, 32, func(i int) (int, error) {
+		calls.Add(1)
+		if i%97 == 0 {
+			runtime.Gosched()
+		}
+		return i, nil
+	}, func(i, v int) error {
+		sum += v
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != n {
+		t.Fatalf("ran %d cells, want %d", calls.Load(), n)
+	}
+	if want := n * (n - 1) / 2; sum != want {
+		t.Fatalf("sum %d, want %d", sum, want)
+	}
+}

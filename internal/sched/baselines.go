@@ -15,7 +15,7 @@ func (FCFS) Name() string { return "fcfs" }
 // Schedule implements Policy.
 func (FCFS) Schedule(ctx *Context) []Decision {
 	var out []Decision
-	claimed := map[int]bool{}
+	claimed := newMarks(ctx)
 	for _, j := range ctx.Queue {
 		if !fitsMachine(ctx, j) {
 			continue // can never run anywhere; do not deadlock the queue
@@ -43,7 +43,7 @@ func (FirstFit) Name() string { return "firstfit" }
 // Schedule implements Policy.
 func (FirstFit) Schedule(ctx *Context) []Decision {
 	var out []Decision
-	claimed := map[int]bool{}
+	claimed := newMarks(ctx)
 	for _, j := range ctx.Queue {
 		if !fitsMachine(ctx, j) {
 			continue
@@ -102,7 +102,7 @@ func exclusiveDecision(ctx *Context, j *job.Job, nodes []int) Decision {
 // rest. Every started job runs on exclusive whole nodes.
 func backfillExclusive(ctx *Context, maxReservations int) []Decision {
 	var out []Decision
-	claimed := map[int]bool{}
+	claimed := newMarks(ctx)
 
 	// The capacity profile sees a node as released when its last resident's
 	// predicted end passes (with one job per node under exclusive policies,
@@ -152,7 +152,7 @@ func backfillExclusive(ctx *Context, maxReservations int) []Decision {
 
 // buildNodeProfile constructs the whole-node availability profile from the
 // current idle set and the running jobs' planned completion times.
-func buildNodeProfile(ctx *Context, claimed map[int]bool) *Profile {
+func buildNodeProfile(ctx *Context, claimed nodeMarks) *Profile {
 	freeNow := 0
 	for _, ni := range ctx.Cluster.IdleNodes() {
 		if !claimed[ni] {

@@ -128,14 +128,114 @@ type Context struct {
 	// residentIdx caches node → running jobs for the pass; built lazily by
 	// residents (the co-allocation paths query it once per node per queued
 	// job, so the linear scan must not repeat).
-	residentIdx map[int][]*RunningJob
+	residentIdx [][]*RunningJob
+
+	// compatIdx memoizes pairing evaluations per (guest application,
+	// resident application multiset) class for the pass. Pairing quality is
+	// a pure function of the applications' stress vectors and the
+	// interference model, so every node hosting the same resident class
+	// shares one evaluation instead of re-running Complementarity and
+	// NamedRates per candidate node per queued job.
+	compatIdx map[compatKey]compatProfile
+	// hostRateIdx memoizes the interference model's host-rate answer per
+	// (host application, guest application) pair for the pass — the
+	// inflation-accounting path asks this once per resident per candidate
+	// placement.
+	hostRateIdx map[compatKey]float64
+}
+
+// compatKey identifies a pairing class. residents holds the single resident
+// application name in the common MaxDegree-2 case (allocation-free to
+// build); deeper sharing joins the names with NUL separators.
+type compatKey struct {
+	guest     string
+	residents string
+}
+
+func makeCompatKey(guest string, residents []*RunningJob) compatKey {
+	if len(residents) == 1 {
+		return compatKey{guest: guest, residents: residents[0].Job.App.Name}
+	}
+	joined := ""
+	for i, r := range residents {
+		if i > 0 {
+			joined += "\x00"
+		}
+		joined += r.Job.App.Name
+	}
+	return compatKey{guest: guest, residents: joined}
+}
+
+// compatProfile is one memoized pairing evaluation: whether the pairing
+// passes the configured gates, its worst complementarity score, and the
+// guest's estimated progress rate.
+type compatProfile struct {
+	ok    bool
+	score float64
+	rate  float64
+}
+
+// compatFor returns the memoized pairing evaluation of guest job j against
+// the residents of a node, computing and caching it on first use.
+func (ctx *Context) compatFor(j *job.Job, residents []*RunningJob) compatProfile {
+	key := makeCompatKey(j.App.Name, residents)
+	if p, ok := ctx.compatIdx[key]; ok {
+		return p
+	}
+	cfg := ctx.Share
+	score := 1.0
+	loads := []interference.Load{{App: j.App.Name, Stress: j.App.Stress}}
+	for _, r := range residents {
+		s := app.Complementarity(j.App.Stress, r.Job.App.Stress)
+		if s < score {
+			score = s
+		}
+		loads = append(loads, interference.Load{App: r.Job.App.Name, Stress: r.Job.App.Stress})
+	}
+	p := compatProfile{score: score}
+	if score >= cfg.MinComplementarity {
+		rates := ctx.Inter.NamedRates(loads)
+		p.ok = true
+		p.rate = rates[0]
+		if cfg.MinEstimatedRate > 0 {
+			for _, r := range rates {
+				if r < cfg.MinEstimatedRate {
+					p.ok = false
+					break
+				}
+			}
+		}
+	}
+	if ctx.compatIdx == nil {
+		ctx.compatIdx = make(map[compatKey]compatProfile)
+	}
+	ctx.compatIdx[key] = p
+	return p
+}
+
+// hostRateWith returns the memoized interference-model progress rate of a
+// running host job when guest j lands beside it.
+func (ctx *Context) hostRateWith(r *RunningJob, j *job.Job) float64 {
+	key := compatKey{guest: r.Job.App.Name, residents: j.App.Name}
+	if rate, ok := ctx.hostRateIdx[key]; ok {
+		return rate
+	}
+	rates := ctx.Inter.NamedRates([]interference.Load{
+		{App: r.Job.App.Name, Stress: r.Job.App.Stress},
+		{App: j.App.Name, Stress: j.App.Stress},
+	})
+	if ctx.hostRateIdx == nil {
+		ctx.hostRateIdx = make(map[compatKey]float64)
+	}
+	ctx.hostRateIdx[key] = rates[0]
+	return rates[0]
 }
 
 // residents returns the running jobs occupying node ni, using a lazily
 // built index over ctx.Running.
 func (ctx *Context) residents(ni int) []*RunningJob {
 	if ctx.residentIdx == nil {
-		ctx.residentIdx = make(map[int][]*RunningJob, len(ctx.Running))
+		ctx.residentIdx = make([][]*RunningJob, ctx.Cluster.Size())
 		for _, r := range ctx.Running {
 			for _, n := range r.NodeIDs {
 				ctx.residentIdx[n] = append(ctx.residentIdx[n], r)
@@ -207,9 +307,22 @@ func fitsMachine(ctx *Context, j *job.Job) bool {
 	return j.Nodes <= cfg.Nodes && j.App.MemPerNodeMB <= cfg.MemoryPerNodeMB
 }
 
+// nodeMarks is a per-pass membership set over dense node indices (claimed
+// nodes, excluded hosts). A slice beats a map here: scheduling passes probe
+// and copy these sets in the hottest loops, and node indices are dense.
+type nodeMarks []bool
+
+func newMarks(ctx *Context) nodeMarks { return make(nodeMarks, ctx.Cluster.Size()) }
+
+func (m nodeMarks) clone() nodeMarks {
+	out := make(nodeMarks, len(m))
+	copy(out, m)
+	return out
+}
+
 // idleCandidates returns the schedulable idle nodes minus exclusions, in
 // locality-compact order when a topology is configured.
-func idleCandidates(ctx *Context, exclude map[int]bool) []int {
+func idleCandidates(ctx *Context, exclude nodeMarks) []int {
 	var out []int
 	for _, ni := range ctx.Cluster.IdleNodes() {
 		if !exclude[ni] {
@@ -224,7 +337,7 @@ func idleCandidates(ctx *Context, exclude map[int]bool) []int {
 
 // pickIdle returns the first n idle node indices and true, or nil and false
 // when fewer than n nodes are idle.
-func pickIdle(ctx *Context, n int, exclude map[int]bool) ([]int, bool) {
+func pickIdle(ctx *Context, n int, exclude nodeMarks) ([]int, bool) {
 	cand := idleCandidates(ctx, exclude)
 	if len(cand) < n {
 		return nil, false
@@ -255,7 +368,7 @@ type hostGroup struct {
 // nodeUsableFor reports whether node ni can host j as a co-runner and, if
 // so, returns the pairing score (worst complementarity across residents) and
 // the guest's estimated progress rate there.
-func nodeUsableFor(ctx *Context, j *job.Job, ni int, exclude map[int]bool) (shareCandidate, bool) {
+func nodeUsableFor(ctx *Context, j *job.Job, ni int, exclude nodeMarks) (shareCandidate, bool) {
 	cfg := ctx.Share
 	c := ctx.Cluster
 	if exclude[ni] {
@@ -274,39 +387,23 @@ func nodeUsableFor(ctx *Context, j *job.Job, ni int, exclude map[int]bool) (shar
 		// Node busy but no running record — a foreign allocation; skip.
 		return shareCandidate{}, false
 	}
-	score := 1.0
-	loads := []interference.Load{{App: j.App.Name, Stress: j.App.Stress}}
-	for _, r := range residents {
-		s := app.Complementarity(j.App.Stress, r.Job.App.Stress)
-		if s < score {
-			score = s
-		}
-		loads = append(loads, interference.Load{App: r.Job.App.Name, Stress: r.Job.App.Stress})
-	}
-	if score < cfg.MinComplementarity {
+	p := ctx.compatFor(j, residents)
+	if !p.ok {
 		return shareCandidate{}, false
 	}
-	rates := ctx.Inter.NamedRates(loads)
-	if cfg.MinEstimatedRate > 0 {
-		for _, r := range rates {
-			if r < cfg.MinEstimatedRate {
-				return shareCandidate{}, false
-			}
-		}
-	}
-	return shareCandidate{node: ni, score: score, rate: rates[0]}, true
+	return shareCandidate{node: ni, score: p.score, rate: p.rate}, true
 }
 
 // hostGroupsFor collects the co-allocation host groups for j, best first
 // when pairing-aware: full-host coverage ranks above partial, then pairing
 // score, then host job ID for determinism.
-func hostGroupsFor(ctx *Context, j *job.Job, exclude map[int]bool) []hostGroup {
+func hostGroupsFor(ctx *Context, j *job.Job, exclude nodeMarks) []hostGroup {
 	cfg := ctx.Share
 	if !cfg.Enabled {
 		return nil
 	}
 	var groups []hostGroup
-	seen := map[int]bool{} // nodes already captured via an earlier host
+	seen := newMarks(ctx) // nodes already captured via an earlier host
 	for _, r := range ctx.Running {
 		g := hostGroup{score: 1, rate: 1}
 		for _, ni := range r.NodeIDs {

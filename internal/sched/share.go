@@ -3,7 +3,6 @@ package sched
 import (
 	"repro/internal/cluster"
 	"repro/internal/des"
-	"repro/internal/interference"
 	"repro/internal/job"
 )
 
@@ -33,7 +32,7 @@ func (p ShareFirstFit) Schedule(ctx *Context) []Decision {
 		return FirstFit{}.Schedule(ctx)
 	}
 	var out []Decision
-	claimed := map[int]bool{}
+	claimed := newMarks(ctx)
 	slots := slotBound(ctx)
 	memo := newFailMemo()
 	for _, j := range ctx.Queue {
@@ -78,23 +77,14 @@ func (m *failMemo) recordFail(j *job.Job) {
 // slotBound returns an upper bound on the node slots a sharing pass can
 // still hand out: idle nodes plus busy nodes with a free layer within the
 // sharing degree. It exists so deep queues cost an integer compare per
-// hopeless job instead of a full candidate scan.
+// hopeless job instead of a full candidate scan. Both terms come from the
+// cluster's free-capacity index, so the bound itself costs O(candidates),
+// not O(nodes).
 func slotBound(ctx *Context) int {
 	c := ctx.Cluster
-	bound := 0
-	for ni := 0; ni < c.Size(); ni++ {
-		n := c.Node(ni)
-		if !n.Available() {
-			continue
-		}
-		if n.Idle() {
-			bound++
-			continue
-		}
-		if n.SharingDegree() >= ctx.Share.MaxDegree {
-			continue
-		}
-		if _, ok := freeLayerOn(c, ni); ok {
+	bound := c.CountIdle()
+	for _, ni := range c.BusyFreeLayerNodes() {
+		if c.Node(ni).SharingDegree() < ctx.Share.MaxDegree {
 			bound++
 		}
 	}
@@ -166,7 +156,7 @@ func (p ShareConservative) Schedule(ctx *Context) []Decision {
 // reservation.
 func scheduleShare(ctx *Context, maxReservations int) []Decision {
 	var out []Decision
-	claimed := map[int]bool{}
+	claimed := newMarks(ctx)
 	// endOverride records release postponements caused by co-allocations
 	// committed in this pass.
 	endOverride := map[cluster.JobID]des.Time{}
@@ -237,12 +227,12 @@ func scheduleShare(ctx *Context, maxReservations int) []Decision {
 // postpone a node release past any planned reservation start in shadows.
 // Rejected host nodes are excluded and the placement is retried, so a guest
 // can still land on hosts with walltime slack.
-func placeGuarded(ctx *Context, j *job.Job, claimed map[int]bool,
+func placeGuarded(ctx *Context, j *job.Job, claimed nodeMarks,
 	endOverride map[cluster.JobID]des.Time, shadows []des.Time) (Decision, bool) {
 
-	excluded := claimed2(claimed)
+	excluded := claimed.clone()
 	for attempt := 0; attempt <= ctx.Cluster.Size(); attempt++ {
-		dec, ok := placeShared(ctx, j, claimed2(excluded))
+		dec, ok := placeShared(ctx, j, excluded.clone())
 		if !ok {
 			return Decision{}, false
 		}
@@ -279,7 +269,7 @@ func placeGuarded(ctx *Context, j *job.Job, claimed map[int]bool,
 
 // commitShare records the local effects of a decision within this scheduling
 // pass: claimed nodes and postponed host releases.
-func commitShare(ctx *Context, dec Decision, claimed map[int]bool,
+func commitShare(ctx *Context, dec Decision, claimed nodeMarks,
 	endOverride map[cluster.JobID]des.Time) {
 	for _, np := range dec.Placement.Nodes {
 		claimed[np.Node] = true
@@ -296,7 +286,7 @@ func commitShare(ctx *Context, dec Decision, claimed map[int]bool,
 
 // profileWith rebuilds the whole-node capacity profile applying release
 // postponements from this pass's co-allocations.
-func profileWith(ctx *Context, claimed map[int]bool,
+func profileWith(ctx *Context, claimed nodeMarks,
 	endOverride map[cluster.JobID]des.Time) *Profile {
 
 	freeNow := 0
@@ -345,11 +335,7 @@ func inflatedEnd(ctx *Context, r *RunningJob, j *job.Job, endOverride map[cluste
 		oldRate = 1
 	}
 	remaining := float64(oldEnd-ctx.Now) * oldRate
-	rates := ctx.Inter.NamedRates([]interference.Load{
-		{App: r.Job.App.Name, Stress: r.Job.App.Stress},
-		{App: j.App.Name, Stress: j.App.Stress},
-	})
-	newRate := rates[0]
+	newRate := ctx.hostRateWith(r, j)
 	if newRate < oldRate {
 		// Synchronized parallel semantics: the host runs at the slower of
 		// its current rate and the newly contended node's rate.
@@ -365,7 +351,7 @@ func inflatedEnd(ctx *Context, r *RunningJob, j *job.Job, endOverride map[cluste
 // host groups and idle nodes, ordered by the PreferShared setting. Whole
 // host groups are taken before partial ones so guests cover hosts fully
 // whenever possible (see hostGroup). claimed is updated with the nodes used.
-func placeShared(ctx *Context, j *job.Job, claimed map[int]bool) (Decision, bool) {
+func placeShared(ctx *Context, j *job.Job, claimed nodeMarks) (Decision, bool) {
 
 	groups := hostGroupsFor(ctx, j, claimed)
 	idle := idleCandidates(ctx, claimed)
@@ -453,16 +439,6 @@ func placeShared(ctx *Context, j *job.Job, claimed map[int]bool) (Decision, bool
 		claimed[s.node] = true
 	}
 	return Decision{Job: j, Placement: p, Shared: shared, EstimatedRate: rate}, true
-}
-
-// claimed2 copies a claimed set so trial placements do not pollute the pass
-// state; ShareBackfill re-applies claims on commit.
-func claimed2(claimed map[int]bool) map[int]bool {
-	out := make(map[int]bool, len(claimed))
-	for k, v := range claimed {
-		out[k] = v
-	}
-	return out
 }
 
 // countIdleNodes counts the placement's nodes that are currently idle.
