@@ -19,6 +19,12 @@
 // With -state, every accepted operation is appended to a write-ahead journal
 // before it is acknowledged; restarting with the same directory replays the
 // journal and resumes from the identical queue, node, and clock state.
+// Journal records are CRC32C-checksummed (DESIGN.md §11); `fsck` verifies a
+// state directory offline and `-repair` salvages the committed prefix,
+// quarantining damaged records to quarantine.jsonl:
+//
+//	mini-slurm fsck -state /var/spool/mini-slurm
+//	mini-slurm fsck -state /var/spool/mini-slurm -repair
 //
 // High availability: run a pair of daemons, the primary pushing its journal
 // to a warm standby (see DESIGN.md §9). Client subcommands accept a
@@ -36,6 +42,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -43,6 +50,7 @@ import (
 
 	"repro/internal/des"
 	"repro/internal/slurm"
+	"repro/internal/vfs"
 )
 
 const defaultAddr = "127.0.0.1:6818"
@@ -74,6 +82,8 @@ func main() {
 		err = scontrol(args)
 	case "health":
 		err = health(args)
+	case "fsck":
+		err = fsck(args)
 	default:
 		usage()
 	}
@@ -85,7 +95,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr,
-		`usage: mini-slurm <serve|sbatch|squeue|sinfo|scancel|scontrol|advance|drain|stats|health> [flags]`)
+		`usage: mini-slurm <serve|sbatch|squeue|sinfo|scancel|scontrol|advance|drain|stats|health|fsck> [flags]`)
 	os.Exit(2)
 }
 
@@ -109,6 +119,49 @@ func health(args []string) error {
 		fmt.Println(h)
 	}
 	if h != slurm.HealthOK {
+		os.Exit(1)
+	}
+	return nil
+}
+
+// fsck verifies a state directory's snapshot+journal pair offline: every
+// record's checksum, sequence continuity across both files, and the snapshot
+// manifest. Run it against a stopped controller (or a copy of its state
+// directory). Exit status: 0 clean, 1 damaged. With -repair, the committed
+// prefix is rewritten as a clean v2 pair and every damaged or unreachable
+// record is preserved in quarantine.jsonl.
+func fsck(args []string) error {
+	fs := flag.NewFlagSet("fsck", flag.ExitOnError)
+	state := fs.String("state", "", "state directory to verify (required)")
+	repair := fs.Bool("repair", false, "salvage the committed prefix and quarantine damaged records")
+	fs.Parse(args)
+	if *state == "" {
+		return fmt.Errorf("fsck: -state is required")
+	}
+	report, err := slurm.Fsck(vfs.OS{}, *state)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.Summary())
+	if *repair {
+		if _, err := slurm.FsckRepair(vfs.OS{}, *state); err != nil {
+			return err
+		}
+		after, err := slurm.Fsck(vfs.OS{}, *state)
+		if err != nil {
+			return err
+		}
+		if !after.Clean() {
+			return fmt.Errorf("fsck: repair left damage behind")
+		}
+		fmt.Printf("repaired: %d committed entries salvaged", after.Committed)
+		if n := report.Unreachable + len(report.Snapshot.Damage) + len(report.Journal.Damage); n > 0 {
+			fmt.Printf(", %d record(s) quarantined to %s", n, filepath.Join(*state, "quarantine.jsonl"))
+		}
+		fmt.Println()
+		return nil
+	}
+	if !report.Clean() {
 		os.Exit(1)
 	}
 	return nil

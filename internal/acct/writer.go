@@ -4,37 +4,55 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
-	"os"
+
+	"repro/internal/vfs"
 )
 
 // LineWriter is a durable JSON-lines appender: every value becomes one line,
 // Sync flushes buffers and forces the data to stable storage, and Close
 // propagates every error on the way down. The accounting exporter and the
 // controller's write-ahead journal both write through it — accounting data
-// that vanishes in a crash defeats its purpose.
+// that vanishes in a crash defeats its purpose. File I/O goes through a
+// vfs.FS so storage faults are injectable under every durability test.
 type LineWriter struct {
-	f   *os.File
+	f   vfs.File
 	bw  *bufio.Writer
 	enc *json.Encoder
 }
 
-// Create opens path truncated for line-writing.
+// Create opens path truncated for line-writing on the real filesystem.
 func Create(path string) (*LineWriter, error) {
-	return openFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC)
+	return CreateOn(vfs.OS{}, path)
 }
 
-// OpenAppend opens path for appending, creating it if missing.
-func OpenAppend(path string) (*LineWriter, error) {
-	return openFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND)
-}
-
-func openFile(path string, flags int) (*LineWriter, error) {
-	f, err := os.OpenFile(path, flags, 0o644)
+// CreateOn opens path truncated for line-writing on fsys.
+func CreateOn(fsys vfs.FS, path string) (*LineWriter, error) {
+	f, err := fsys.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("acct: open %s: %w", path, err)
 	}
+	return NewLineWriter(f), nil
+}
+
+// OpenAppend opens path for appending on the real filesystem, creating it
+// if missing.
+func OpenAppend(path string) (*LineWriter, error) {
+	return OpenAppendOn(vfs.OS{}, path)
+}
+
+// OpenAppendOn opens path for appending on fsys, creating it if missing.
+func OpenAppendOn(fsys vfs.FS, path string) (*LineWriter, error) {
+	f, err := fsys.OpenAppend(path)
+	if err != nil {
+		return nil, fmt.Errorf("acct: open %s: %w", path, err)
+	}
+	return NewLineWriter(f), nil
+}
+
+// NewLineWriter wraps an already-open file handle.
+func NewLineWriter(f vfs.File) *LineWriter {
 	bw := bufio.NewWriter(f)
-	return &LineWriter{f: f, bw: bw, enc: json.NewEncoder(bw)}, nil
+	return &LineWriter{f: f, bw: bw, enc: json.NewEncoder(bw)}
 }
 
 // Append writes one value as a JSON line.
@@ -68,7 +86,12 @@ func (w *LineWriter) Close() error {
 // WriteFile durably writes an accounting file: records are written, synced to
 // stable storage, and the file closed, with every error checked.
 func WriteFile(path string, records []Record) error {
-	w, err := Create(path)
+	return WriteFileOn(vfs.OS{}, path, records)
+}
+
+// WriteFileOn is WriteFile on an explicit filesystem.
+func WriteFileOn(fsys vfs.FS, path string, records []Record) error {
+	w, err := CreateOn(fsys, path)
 	if err != nil {
 		return err
 	}

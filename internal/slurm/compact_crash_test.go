@@ -50,8 +50,19 @@ func TestCompactCrashEveryStep(t *testing.T) {
 	want := recoverState(t, cfg, dir)
 
 	// Each case mutates a fresh directory into the exact file state a crash
-	// at that point of compact() leaves behind.
-	folded := append(append([]byte(nil), snap...), tail...)
+	// at that point of compact() leaves behind. The folded snapshot is built
+	// the way compact builds it: verify both files, merge on Seq, re-encode
+	// as a manifest-sealed v2 snapshot.
+	entries, _, gap := foldScans(
+		scanFile(snap, snapshotFile(dir), true),
+		scanFile(tail, journalFile(dir), false))
+	if gap != "" {
+		t.Fatalf("workload files do not fold: %s", gap)
+	}
+	folded, err := encodeSnapshot(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
 	steps := []struct {
 		name string
 		set  func(d string)
@@ -105,8 +116,14 @@ func TestCompactCrashOverlapNotReplayedTwice(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Simulate the mid-compact crash: same entries in snapshot and journal.
-	writeFile(t, snapshotFile(dir), tail)
+	// Simulate the mid-compact crash: same entries in snapshot and journal
+	// (the snapshot in its sealed form, as compact would have written it).
+	scan := scanFile(tail, journalFile(dir), false)
+	snapData, err := encodeSnapshot(scan.entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, snapshotFile(dir), snapData)
 	c2, err := OpenJournaled(cfg, dir, 0)
 	if err != nil {
 		t.Fatal(err)

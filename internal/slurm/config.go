@@ -56,6 +56,12 @@ type Config struct {
 	// keys in slurm.conf — disables HA, keeping the wire protocol and
 	// journal format byte-compatible with standalone releases.
 	HA HAConfig
+	// JournalCorruptPolicy selects what recovery does with a journal or
+	// snapshot record that fails checksum verification mid-log: refuse to
+	// start (FAIL, the default) or salvage the committed prefix, quarantine
+	// the damage, and run read-only DEGRADED (QUARANTINE). Torn journal
+	// tails are always truncated and salvaged regardless of policy.
+	JournalCorruptPolicy CorruptPolicy
 }
 
 // Partition is a job partition with admission limits.
@@ -149,6 +155,10 @@ var nodeRangeRe = regexp.MustCompile(`^([a-zA-Z_-]*)\[(\d+)-(\d+)\]$`)
 //	                                    primary self-fences after half of it)
 //	HAHeartbeatSeconds=<float>         (HA: replication heartbeat spacing;
 //	                                    must be shorter than the lease)
+//	JournalCorruptPolicy=FAIL|QUARANTINE (storage: refuse to start on a
+//	                                    corrupt journal record, or salvage
+//	                                    the committed prefix and run
+//	                                    read-only; default FAIL)
 func ParseConfig(r io.Reader) (Config, error) {
 	cfg := DefaultConfig()
 	cfg.Machine = cluster.Config{} // must come from NodeName
@@ -255,6 +265,9 @@ func ParseConfig(r io.Reader) (Config, error) {
 			var v float64
 			v, err = strconv.ParseFloat(strings.TrimSpace(rest), 64)
 			cfg.HA.Heartbeat = time.Duration(v * float64(time.Second))
+		case "JournalCorruptPolicy":
+			cfg.JournalCorruptPolicy = CorruptPolicy(strings.ToLower(strings.TrimSpace(rest)))
+			err = cfg.JournalCorruptPolicy.Validate()
 		default:
 			return Config{}, fmt.Errorf("slurm: line %d: unknown key %q", lineNo, key)
 		}
@@ -299,6 +312,9 @@ func (c Config) Validate() error {
 		return err
 	}
 	if err := c.HA.Validate(); err != nil {
+		return err
+	}
+	if err := c.JournalCorruptPolicy.Validate(); err != nil {
 		return err
 	}
 	return nil

@@ -14,6 +14,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/job"
 	"repro/internal/metrics"
+	"repro/internal/vfs"
 )
 
 // Controller is the slurmctld-equivalent: it owns a batch-system instance,
@@ -54,6 +55,14 @@ type Controller struct {
 	// br is the journal circuit breaker (nil when disabled): consecutive
 	// append failures trip the controller into read-only DEGRADED mode.
 	br *breaker
+	// quarantined pins the controller read-only (DEGRADED): recovery under
+	// JournalCorruptPolicy=QUARANTINE salvaged a corrupt log, so the state
+	// is a committed prefix, safe to read but not to extend. Cleared only by
+	// an HA full resync (which rewrites the log from the primary's copy).
+	quarantined bool
+	// recovery is what opening the journal found (nil for in-memory
+	// controllers).
+	recovery *RecoveryInfo
 
 	// HA pair state (see ha.go). epoch is the fencing term: zero while HA
 	// is off (so journal entries stay byte-compatible), ≥1 once StartHA has
@@ -122,11 +131,22 @@ func NewController(cfg Config) (*Controller, error) {
 // configuration must be supplied across restarts; the simulation is
 // deterministic, so replay reproduces the original run exactly.
 func OpenJournaled(cfg Config, dir string, snapshotEvery int) (*Controller, error) {
+	return OpenJournaledFS(cfg, vfs.OS{}, dir, snapshotEvery)
+}
+
+// OpenJournaledFS is OpenJournaled on an explicit filesystem, the seam the
+// storage-fault tests inject a vfs.Faulty through. Recovery follows the
+// state machine in journal.go: a torn journal tail is truncated and the
+// committed prefix replayed; corruption either refuses to open
+// (JournalCorruptPolicy=FAIL, the default) or salvages the committed prefix
+// and starts the controller read-only DEGRADED with the damaged records
+// preserved in quarantine.jsonl (QUARANTINE).
+func OpenJournaledFS(cfg Config, fsys vfs.FS, dir string, snapshotEvery int) (*Controller, error) {
 	c, err := NewController(cfg)
 	if err != nil {
 		return nil, err
 	}
-	j, entries, err := openJournal(dir, snapshotEvery)
+	j, entries, info, err := openJournal(fsys, dir, snapshotEvery, cfg.JournalCorruptPolicy)
 	if err != nil {
 		return nil, err
 	}
@@ -144,7 +164,17 @@ func OpenJournaled(cfg Config, dir string, snapshotEvery int) (*Controller, erro
 		c.seq = entries[len(entries)-1].Seq
 	}
 	c.jr = j
+	c.recovery = info
+	c.quarantined = info.Quarantined
 	return c, nil
+}
+
+// Recovery reports what opening the journal found (nil for in-memory
+// controllers).
+func (c *Controller) Recovery() *RecoveryInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.recovery
 }
 
 // replay re-applies recovered journal entries in order. Audit entries are
@@ -221,6 +251,9 @@ func (c *Controller) checkWritable() error {
 	if c.repl != nil && c.repl.leaseLost(time.Now()) {
 		return ErrFenced
 	}
+	if c.quarantined {
+		return ErrDegraded
+	}
 	if c.br != nil && !c.br.writable() {
 		return ErrDegraded
 	}
@@ -234,6 +267,9 @@ func (c *Controller) checkWritable() error {
 func (c *Controller) Health() string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.quarantined {
+		return HealthDegraded
+	}
 	if c.br != nil && c.br.degraded() {
 		return HealthDegraded
 	}

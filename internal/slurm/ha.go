@@ -153,6 +153,12 @@ func (c *Controller) StartHA(o HAOptions) error {
 	}
 	if o.Standby {
 		c.standby = true
+		if c.quarantined {
+			// A follower that recovered by quarantining damage holds only a
+			// salvaged prefix; insist on a full resync before trusting it
+			// with incremental entries.
+			c.needFull = true
+		}
 		c.lastHeard = time.Now()
 		c.haWG.Add(1)
 		go c.promotionMonitor()
@@ -232,12 +238,40 @@ func (c *Controller) promotionMonitor() {
 			return
 		}
 		if time.Since(c.lastHeard) > c.haOpts.Lease {
+			if !c.promotableLocked() {
+				// Refusing promotion on a bad log: reset the lease clock so
+				// the check reruns at lease pace, not every tick, while we
+				// wait for the primary (or its successor) to resync us.
+				c.needFull = true
+				c.lastHeard = time.Now()
+				c.mu.Unlock()
+				continue
+			}
 			c.promoteLocked()
 			c.mu.Unlock()
 			return
 		}
 		c.mu.Unlock()
 	}
+}
+
+// promotableLocked is the fsck gate: a standby about to promote verifies its
+// own on-disk log first. A follower whose storage rotted (or that started
+// quarantined) must not become primary on a damaged log — the cluster's
+// history would silently shrink to its salvaged prefix. It stays standby and
+// requests a full resync instead. Callers hold c.mu.
+func (c *Controller) promotableLocked() bool {
+	if c.quarantined {
+		return false
+	}
+	if c.jr == nil {
+		return true // in-memory follower: nothing on disk to verify
+	}
+	report, err := Fsck(c.jr.fs, c.jr.dir)
+	if err != nil {
+		return false
+	}
+	return !report.Corrupt
 }
 
 // promoteLocked turns the standby into the primary: bump and journal the
@@ -395,6 +429,11 @@ func (c *Controller) applyReplicatedLocked(e Entry) error {
 			}
 		}
 		if err != nil {
+			// The operation ran against the engine but the entry is not on
+			// disk: this follower's journal no longer matches its state. Only
+			// a full resync (which rewrites the log wholesale) makes it safe
+			// to serve from again.
+			c.needFull = true
 			return err
 		}
 	}
@@ -438,6 +477,9 @@ func (c *Controller) resetFromLogLocked(entries []Entry) error {
 			return err
 		}
 	}
+	// The log was just rewritten from the primary's authoritative copy: any
+	// quarantined local damage has been replaced wholesale.
+	c.quarantined = false
 	return nil
 }
 

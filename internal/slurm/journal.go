@@ -3,11 +3,16 @@ package slurm
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
+	"expvar"
 	"fmt"
-	"os"
+	"io/fs"
+	"log"
 	"path/filepath"
+	"sync"
 
 	"repro/internal/acct"
+	"repro/internal/vfs"
 )
 
 // Crash recovery. slurmctld survives restarts by writing StateSaveLocation;
@@ -20,9 +25,26 @@ import (
 // journal a complete accounting trail on their own.
 //
 // A snapshot compacts the log: the journal's entries are folded into
-// snapshot.jsonl with an atomic tmp+rename, and the journal truncated.
-// Recovery reads snapshot.jsonl then journal.jsonl; a torn final line (crash
-// mid-append) is dropped, anything else malformed is an error.
+// snapshot.jsonl (v2 frames sealed by a manifest, see frame.go) with an
+// atomic tmp+rename, and the journal truncated. Recovery reads snapshot
+// then journal, verifying every record. The recovery state machine:
+//
+//   - clean: every record verifies → replay everything.
+//   - torn tail: the journal's damage is confined to an unverifiable tail
+//     (crash mid-append) → truncate it away, replay the prefix. The torn
+//     bytes were never acknowledged.
+//   - corrupt: a record fails verification with verifiable records after it
+//     (bit rot, mid-file truncation), or a snapshot — which is written
+//     atomically and can never legally be torn — is damaged at all. Policy
+//     CorruptFail (default) refuses to start, naming `mini-slurm fsck`;
+//     CorruptQuarantine salvages the committed prefix, copies the damaged
+//     records to quarantine.jsonl, and starts read-only (DEGRADED).
+//
+// Recovery never silently skips a damaged record and continues past it:
+// the replayed state is always a committed prefix or a loud refusal.
+//
+// All file I/O goes through vfs.FS so tests can inject torn writes, fsync
+// failures, bit rot, and crash points on every path below.
 
 // Entry is one journal line: an external operation to replay, or an audit
 // record (Op "record") to skip.
@@ -52,15 +74,70 @@ type Entry struct {
 	Record *acct.Record `json:"record,omitempty"`
 }
 
+// Typed journal failures. The append path and the compaction path are wrapped
+// distinctly so the overload circuit breaker's operators can tell "stable
+// storage refused the write" from "folding the log failed" when the
+// controller enters DEGRADED mode; errors.Is works against both sentinels.
+var (
+	// ErrJournalAppend wraps failures to durably append an entry.
+	ErrJournalAppend = errors.New("slurm: journal append failed")
+	// ErrJournalCompact wraps failures to fold the journal into the
+	// snapshot (or to rewrite it during an HA full resync).
+	ErrJournalCompact = errors.New("slurm: journal compaction failed")
+)
+
+// journalOpError tags an underlying storage error with the path (append vs
+// compact) it failed on. errors.Is matches the tag and the wrapped error.
+type journalOpError struct {
+	kind error
+	err  error
+}
+
+func (e *journalOpError) Error() string        { return e.kind.Error() + ": " + e.err.Error() }
+func (e *journalOpError) Is(target error) bool { return target == e.kind }
+func (e *journalOpError) Unwrap() error        { return e.err }
+
+func journalErr(kind, err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, kind) {
+		return err // already tagged (compact failures inside append)
+	}
+	return &journalOpError{kind: kind, err: err}
+}
+
+// journalSyncErrors counts directory-fsync failures across the process so
+// soak runs can detect flaky storage (expvar "journal_sync_errors").
+var journalSyncErrors = expvar.NewInt("journal_sync_errors")
+
+var syncDirWarnOnce sync.Once
+
+// syncDir fsyncs a directory so renames and file creations inside it survive
+// power loss. Filesystems that don't support directory fsync report an error
+// we tolerate — on those, the rename itself is the best available — but
+// every failure is counted in journal_sync_errors and the first one is
+// logged, so persistent storage flakiness is visible instead of silent.
+func syncDir(fsys vfs.FS, dir string) {
+	if err := fsys.SyncDir(dir); err != nil {
+		journalSyncErrors.Add(1)
+		syncDirWarnOnce.Do(func() {
+			log.Printf("slurm: journal: directory fsync of %s failed (renames may not survive power loss; counting in journal_sync_errors): %v", dir, err)
+		})
+	}
+}
+
 // journal is the append side of the write-ahead log. Every append is synced
 // to stable storage before the operation is acknowledged. Sequence numbers
 // are assigned by the controller (which also owns the in-memory copy of the
 // log for replication); the journal persists entries exactly as given.
 type journal struct {
+	fs    vfs.FS
 	dir   string
-	w     *acct.LineWriter
-	every int // compact after this many appends (0 = never)
-	ops   int // appends since the last compaction
+	w     *journalWriter
+	werr  error // why w is nil (a failed compact step); appends try to heal
+	every int   // compact after this many appends (0 = never)
+	ops   int   // appends since the last compaction
 
 	// testAppendErr, when set, is consulted before each append; a non-nil
 	// return aborts the append with that error. Tests use it to simulate a
@@ -68,112 +145,352 @@ type journal struct {
 	testAppendErr func(Entry) error
 }
 
-func snapshotFile(dir string) string { return filepath.Join(dir, "snapshot.jsonl") }
-func journalFile(dir string) string  { return filepath.Join(dir, "journal.jsonl") }
+func snapshotFile(dir string) string   { return filepath.Join(dir, "snapshot.jsonl") }
+func journalFile(dir string) string    { return filepath.Join(dir, "journal.jsonl") }
+func quarantineFile(dir string) string { return filepath.Join(dir, "quarantine.jsonl") }
 
-// syncDir fsyncs a directory so renames and file creations inside it survive
-// power loss. Filesystems that don't support directory fsync report an error
-// we deliberately ignore — on those, the rename itself is the best available.
-func syncDir(dir string) {
-	d, err := os.Open(dir)
-	if err != nil {
-		return
-	}
-	d.Sync()
-	d.Close()
+// journalWriter appends entries to the live journal file in the file's
+// format: v2 checksummed frames for new files, plain JSONL for a v1 file
+// inherited from an earlier release (mixing formats inside one file would
+// corrupt it; the next compaction rewrites it as v2).
+type journalWriter struct {
+	f       vfs.File
+	bw      *bufio.Writer
+	version int
 }
 
-// openJournal opens (creating if needed) the state directory and returns the
-// append handle plus every recovered entry, snapshot first. A crash between
-// compaction's snapshot rename and journal truncation leaves the journal's
-// entries duplicated at the snapshot's tail; the strictly increasing Seq
-// makes that overlap detectable, so it is dropped here instead of poisoning
-// replay.
-func openJournal(dir string, every int) (*journal, []Entry, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, nil, fmt.Errorf("slurm: state dir: %w", err)
+func newJournalWriter(f vfs.File, version int) *journalWriter {
+	return &journalWriter{f: f, bw: bufio.NewWriter(f), version: version}
+}
+
+// createJournalV2 truncate-creates path as an empty v2 journal: header line
+// written and synced so the file is self-describing from byte zero.
+func createJournalV2(fsys vfs.FS, path string) (*journalWriter, error) {
+	f, err := fsys.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("slurm: create journal %s: %w", path, err)
+	}
+	w := newJournalWriter(f, journalV2)
+	if _, err := w.bw.WriteString(v2Header + "\n"); err == nil {
+		err = w.sync()
+	}
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("slurm: init journal %s: %w", path, err)
+	}
+	return w, nil
+}
+
+func (w *journalWriter) append(e Entry) error {
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("slurm: encode entry %d: %w", e.Seq, err)
+	}
+	var line []byte
+	if w.version == journalV2 {
+		line = appendFrame(nil, payload)
+	} else {
+		line = append(payload, '\n')
+	}
+	if _, err := w.bw.Write(line); err != nil {
+		return fmt.Errorf("slurm: append to %s: %w", w.f.Name(), err)
+	}
+	return nil
+}
+
+func (w *journalWriter) sync() error {
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("slurm: flush %s: %w", w.f.Name(), err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("slurm: sync %s: %w", w.f.Name(), err)
+	}
+	return nil
+}
+
+func (w *journalWriter) close() error {
+	syncErr := w.sync()
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("slurm: close %s: %w", w.f.Name(), err)
+	}
+	return syncErr
+}
+
+// CorruptPolicy selects what recovery does with a journal or snapshot
+// record that fails verification mid-log (torn tails are always salvaged).
+type CorruptPolicy string
+
+const (
+	// CorruptFail (the default) refuses to start on corruption, directing
+	// the operator at `mini-slurm fsck`.
+	CorruptFail CorruptPolicy = "fail"
+	// CorruptQuarantine salvages the committed prefix, copies damaged
+	// records to quarantine.jsonl, and starts the controller read-only
+	// (DEGRADED) so an operator or an HA full resync can reconcile.
+	CorruptQuarantine CorruptPolicy = "quarantine"
+)
+
+// Validate checks the policy name ("" selects CorruptFail).
+func (p CorruptPolicy) Validate() error {
+	switch p {
+	case "", CorruptFail, CorruptQuarantine:
+		return nil
+	}
+	return fmt.Errorf("slurm: unknown JournalCorruptPolicy %q (want FAIL or QUARANTINE)", string(p))
+}
+
+// FileDamage is one damaged record, attributed to its file, as reported by
+// recovery and fsck.
+type FileDamage struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Offset int64  `json:"offset"`
+	Reason string `json:"reason"`
+	// RawB64 carries the damaged bytes (base64) into quarantine sidecars.
+	RawB64 string `json:"raw_b64,omitempty"`
+}
+
+// RecoveryInfo summarizes what opening a journal directory found and did.
+type RecoveryInfo struct {
+	// Entries is the number of committed entries recovered.
+	Entries int
+	// SnapshotVersion and JournalVersion are the on-disk formats found
+	// (0 = file empty or missing).
+	SnapshotVersion, JournalVersion int
+	// TornBytes is the size of the unacknowledged torn tail truncated from
+	// the journal (0 when the tail was clean).
+	TornBytes int64
+	// Quarantined reports that corruption was salvaged under
+	// CorruptQuarantine: damaged records are in quarantine.jsonl and the
+	// controller must run read-only.
+	Quarantined bool
+	// Damage lists every record that failed verification.
+	Damage []FileDamage
+}
+
+// scanPath reads and verifies one file; a missing file scans as empty.
+func scanPath(fsys vfs.FS, path string, wantManifest bool) (*fileScan, error) {
+	data, err := fsys.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return &fileScan{path: path}, nil
+		}
+		return nil, fmt.Errorf("slurm: read journal %s: %w", path, err)
+	}
+	return scanFile(data, path, wantManifest), nil
+}
+
+// readEntries parses a journal file (either format version), tolerating a
+// torn tail and failing loudly on any other damage. Test helper and v1
+// compatibility reader.
+func readEntries(path string) ([]Entry, error) {
+	scan, err := scanPath(vfs.OS{}, path, false)
+	if err != nil {
+		return nil, err
+	}
+	if len(scan.damage) > 0 && !scan.torn {
+		d := scan.damage[0]
+		return nil, fmt.Errorf("slurm: journal %s: line %d (offset %d): %s", path, d.Line, d.Offset, d.Reason)
+	}
+	return scan.entries, nil
+}
+
+// foldScans merges a snapshot scan and a journal scan into the committed
+// prefix. A crash between compaction's snapshot rename and journal
+// truncation leaves the journal's entries duplicated at the snapshot's
+// tail; the strictly increasing Seq makes the overlap detectable, so it is
+// dropped instead of poisoning replay. A sequence gap — the log claims
+// history it cannot connect to — makes everything from the gap on
+// unreachable: those records are returned separately, never silently
+// replayed.
+func foldScans(snap, tail *fileScan) (entries, unreachable []Entry, gap string) {
+	var last int64
+	consume := func(list []Entry, src string) {
+		for i, e := range list {
+			if gap != "" {
+				unreachable = append(unreachable, list[i:]...)
+				return
+			}
+			if e.Seq <= last {
+				continue // overlap from a crash mid-compaction
+			}
+			if e.Seq != last+1 {
+				gap = fmt.Sprintf("%s: sequence gap (log connects through seq %d, next record is seq %d)", src, last, e.Seq)
+				unreachable = append(unreachable, list[i:]...)
+				return
+			}
+			entries = append(entries, e)
+			last = e.Seq
+		}
+	}
+	consume(snap.entries, "snapshot")
+	consume(tail.entries, "journal")
+	return entries, unreachable, gap
+}
+
+func damageList(file string, ds []Damage, withRaw bool) []FileDamage {
+	out := make([]FileDamage, 0, len(ds))
+	for _, d := range ds {
+		fd := FileDamage{File: file, Line: d.Line, Offset: d.Offset, Reason: d.Reason}
+		if withRaw {
+			fd.RawB64 = b64(d.Raw)
+		}
+		out = append(out, fd)
+	}
+	return out
+}
+
+// openJournal opens (creating if needed) the state directory, verifies the
+// snapshot+journal pair, and returns the append handle, every committed
+// entry, and a recovery report. Damage handling follows the recovery state
+// machine documented at the top of this file.
+func openJournal(fsys vfs.FS, dir string, every int, pol CorruptPolicy) (*journal, []Entry, *RecoveryInfo, error) {
+	if pol == "" {
+		pol = CorruptFail
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, nil, fmt.Errorf("slurm: state dir: %w", err)
 	}
 	// A leftover compaction temp file is a crash before the rename; the
 	// snapshot+journal pair is authoritative.
-	os.Remove(snapshotFile(dir) + ".tmp")
-	snap, err := readEntries(snapshotFile(dir))
+	fsys.Remove(snapshotFile(dir) + ".tmp")
+	snap, err := scanPath(fsys, snapshotFile(dir), true)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	tail, err := readEntries(journalFile(dir))
+	tail, err := scanPath(fsys, journalFile(dir), false)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	entries := snap
-	for _, e := range tail {
-		if len(entries) > 0 && e.Seq <= entries[len(entries)-1].Seq {
-			continue // overlap from a crash mid-compaction
+	info := &RecoveryInfo{SnapshotVersion: snap.version, JournalVersion: tail.version}
+
+	// Snapshots are written atomically (tmp+fsync+rename): they can never
+	// legally be torn, so any damage at all is corruption.
+	var quarantined []FileDamage
+	if len(snap.damage) > 0 {
+		if pol != CorruptQuarantine {
+			d := snap.damage[0]
+			return nil, nil, nil, fmt.Errorf(
+				"slurm: snapshot %s corrupt: line %d (offset %d): %s (run `mini-slurm fsck` to inspect, `-repair` to salvage)",
+				snap.path, d.Line, d.Offset, d.Reason)
 		}
-		entries = append(entries, e)
+		quarantined = append(quarantined, damageList("snapshot.jsonl", snap.damage, true)...)
+		// Nothing after a damaged snapshot record can be trusted to
+		// connect; drop the journal's claim to extend it via the gap check
+		// below (the salvaged snapshot prefix ends before the journal
+		// starts, producing a sequence gap unless the overlap covers it).
 	}
-	w, err := acct.OpenAppend(journalFile(dir))
+	if len(tail.damage) > 0 && !tail.torn {
+		if pol != CorruptQuarantine {
+			d := tail.damage[0]
+			return nil, nil, nil, fmt.Errorf(
+				"slurm: journal %s corrupt: line %d (offset %d): %s (run `mini-slurm fsck` to inspect, `-repair` to salvage)",
+				tail.path, d.Line, d.Offset, d.Reason)
+		}
+		quarantined = append(quarantined, damageList("journal.jsonl", tail.damage, true)...)
+	}
+
+	entries, unreachable, gap := foldScans(snap, tail)
+	if gap != "" {
+		if pol != CorruptQuarantine && len(quarantined) == 0 {
+			return nil, nil, nil, fmt.Errorf(
+				"slurm: %s: %s (run `mini-slurm fsck` to inspect, `-repair` to salvage)", dir, gap)
+		}
+		for _, e := range unreachable {
+			payload, _ := json.Marshal(e)
+			quarantined = append(quarantined, FileDamage{
+				File: "journal.jsonl", Reason: "unreachable after " + gap, RawB64: b64(payload),
+			})
+		}
+	}
+
+	// Torn journal tail: the expected crash-mid-append artifact. Truncate
+	// the fragment physically — appending after it would fuse the torn
+	// bytes with the next record's line and lose an acknowledged entry on
+	// the following recovery.
+	if tail.torn && tail.validLen < tail.size {
+		info.TornBytes = tail.size - tail.validLen
+		if err := fsys.Truncate(journalFile(dir), tail.validLen); err != nil {
+			return nil, nil, nil, fmt.Errorf("slurm: truncate torn journal tail: %w", err)
+		}
+	}
+
+	if len(quarantined) > 0 {
+		info.Quarantined = true
+		info.Damage = quarantined
+		if err := writeQuarantine(fsys, dir, quarantined); err != nil {
+			return nil, nil, nil, err
+		}
+	} else if len(tail.damage) > 0 {
+		info.Damage = damageList("journal.jsonl", tail.damage, false)
+	}
+
+	var w *journalWriter
+	if tail.validLen == 0 || tail.version == 0 {
+		// Empty (or fully torn) journal: start a fresh self-describing v2 file.
+		w, err = createJournalV2(fsys, journalFile(dir))
+	} else {
+		var f vfs.File
+		f, err = fsys.OpenAppend(journalFile(dir))
+		if err == nil {
+			w = newJournalWriter(f, tail.version)
+		}
+	}
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	// Make the freshly created files' directory entries durable too: an
 	// fsynced journal line in a file the directory has lost is still lost.
-	syncDir(dir)
-	j := &journal{dir: dir, w: w, every: every, ops: len(tail)}
-	return j, entries, nil
+	syncDir(fsys, dir)
+	info.Entries = len(entries)
+	j := &journal{fs: fsys, dir: dir, w: w, every: every, ops: len(tail.entries)}
+	return j, entries, info, nil
 }
 
-// readEntries parses a JSONL entry file. A missing file yields no entries. A
-// malformed final line is a torn write from a crash mid-append and is
-// dropped; malformation anywhere else is corruption and errors out.
-func readEntries(path string) ([]Entry, error) {
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
-		return nil, nil
+// ensureWriter re-establishes the append handle after a failed compaction
+// step left it closed, so a transient storage fault heals instead of
+// wedging the journal until restart.
+func (j *journal) ensureWriter() error {
+	if j.w != nil {
+		return nil
 	}
+	scan, err := scanPath(j.fs, journalFile(j.dir), false)
 	if err != nil {
-		return nil, fmt.Errorf("slurm: open journal %s: %w", path, err)
+		return err
 	}
-	defer f.Close()
-	var out []Entry
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	torn := false
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
-		}
-		if torn {
-			return nil, fmt.Errorf("slurm: journal %s: line %d: garbage before final line", path, lineNo-1)
-		}
-		var e Entry
-		if err := json.Unmarshal(line, &e); err != nil {
-			torn = true // legal only if this turns out to be the last line
-			continue
-		}
-		out = append(out, e)
+	if len(scan.damage) > 0 {
+		return fmt.Errorf("slurm: journal %s damaged after failed compaction (%s); refusing to append", scan.path, scan.damage[0].Reason)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("slurm: read journal %s: %w", path, err)
+	if scan.validLen == 0 || scan.version == 0 {
+		j.w, err = createJournalV2(j.fs, journalFile(j.dir))
+		return err
 	}
-	return out, nil
+	f, err := j.fs.OpenAppend(journalFile(j.dir))
+	if err != nil {
+		return err
+	}
+	j.w = newJournalWriter(f, scan.version)
+	j.werr = nil
+	return nil
 }
 
 // append durably logs one entry (whose Seq the caller has already assigned),
-// then compacts if the journal grew past the snapshot threshold.
+// then compacts if the journal grew past the snapshot threshold. Append-path
+// failures wrap ErrJournalAppend; compaction failures wrap ErrJournalCompact.
 func (j *journal) append(e Entry) error {
 	if j.testAppendErr != nil {
 		if err := j.testAppendErr(e); err != nil {
-			return err
+			return journalErr(ErrJournalAppend, err)
 		}
 	}
-	if err := j.w.Append(e); err != nil {
-		return err
+	if err := j.ensureWriter(); err != nil {
+		return journalErr(ErrJournalAppend, err)
 	}
-	if err := j.w.Sync(); err != nil {
-		return err
+	if err := j.w.append(e); err != nil {
+		return journalErr(ErrJournalAppend, err)
+	}
+	if err := j.w.sync(); err != nil {
+		return journalErr(ErrJournalAppend, err)
 	}
 	j.ops++
 	if j.every > 0 && j.ops >= j.every {
@@ -182,52 +499,95 @@ func (j *journal) append(e Entry) error {
 	return nil
 }
 
-// compact folds the journal into the snapshot: write snapshot+journal to a
-// temp file, sync, atomically rename over the snapshot, then truncate the
-// journal. A crash at any point leaves a recoverable pair of files.
-func (j *journal) compact() error {
-	if err := j.w.Close(); err != nil {
+// writeSnapshotAtomic writes data to the snapshot temp file, syncs it, and
+// atomically renames it over the snapshot.
+func (j *journal) writeSnapshotAtomic(data []byte) error {
+	tmp := snapshotFile(j.dir) + ".tmp"
+	f, err := j.fs.Create(tmp)
+	if err != nil {
 		return err
 	}
-	snap, err := os.ReadFile(snapshotFile(j.dir))
-	if err != nil && !os.IsNotExist(err) {
-		return fmt.Errorf("slurm: compact: %w", err)
-	}
-	tail, err := os.ReadFile(journalFile(j.dir))
-	if err != nil {
-		return fmt.Errorf("slurm: compact: %w", err)
-	}
-	tmp := snapshotFile(j.dir) + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return fmt.Errorf("slurm: compact: %w", err)
-	}
-	if _, err := f.Write(snap); err == nil {
-		_, err = f.Write(tail)
-	}
-	if err == nil {
+	if _, err = f.Write(data); err == nil {
 		err = f.Sync()
 	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("slurm: compact: %w", err)
+		j.fs.Remove(tmp)
+		return err
 	}
-	if err := os.Rename(tmp, snapshotFile(j.dir)); err != nil {
-		return fmt.Errorf("slurm: compact: %w", err)
+	if err := j.fs.Rename(tmp, snapshotFile(j.dir)); err != nil {
+		j.fs.Remove(tmp)
+		return err
 	}
 	// Without a directory fsync the rename may not survive power loss on
 	// some filesystems — the data would be safe in the temp file, but the
 	// snapshot name could still point at the old content.
-	syncDir(j.dir)
-	w, err := acct.Create(journalFile(j.dir)) // truncate
+	syncDir(j.fs, j.dir)
+	return nil
+}
+
+// compact folds the journal into the snapshot: verify and merge both files,
+// write the folded entries as a manifest-sealed v2 snapshot via tmp+rename,
+// then truncate the journal (to a fresh v2 header — this is where a v1
+// journal inherited from an earlier release migrates to v2). The old append
+// handle stays live until the temp snapshot is durable, so a fault in the
+// fold leaves the append path healthy. A crash at any point leaves a
+// recoverable pair of files.
+func (j *journal) compact() error {
+	snap, err := scanPath(j.fs, snapshotFile(j.dir), true)
 	if err != nil {
+		return journalErr(ErrJournalCompact, err)
+	}
+	tail, err := scanPath(j.fs, journalFile(j.dir), false)
+	if err != nil {
+		return journalErr(ErrJournalCompact, err)
+	}
+	// Compaction rewrites history; damaged history must never be folded
+	// into a "clean" snapshot. The files verified at open, so damage here
+	// means the disk rotted underneath the running controller.
+	if len(snap.damage) > 0 {
+		return journalErr(ErrJournalCompact, fmt.Errorf("snapshot %s damaged (%s); run fsck", snap.path, snap.damage[0].Reason))
+	}
+	if len(tail.damage) > 0 {
+		return journalErr(ErrJournalCompact, fmt.Errorf("journal %s damaged (%s); run fsck", tail.path, tail.damage[0].Reason))
+	}
+	entries, _, gap := foldScans(snap, tail)
+	if gap != "" {
+		return journalErr(ErrJournalCompact, fmt.Errorf("refusing to fold: %s", gap))
+	}
+	data, err := encodeSnapshot(entries)
+	if err != nil {
+		return journalErr(ErrJournalCompact, err)
+	}
+	if err := j.writeSnapshotAtomic(data); err != nil {
+		return journalErr(ErrJournalCompact, err)
+	}
+	return journalErr(ErrJournalCompact, j.truncateLive())
+}
+
+// truncateLive replaces the live journal with a fresh v2 file after its
+// entries have been folded into the snapshot. On failure the append handle
+// is left nil with the cause recorded; the next append retries via
+// ensureWriter.
+func (j *journal) truncateLive() error {
+	if j.w != nil {
+		err := j.w.close()
+		j.w = nil
+		if err != nil {
+			j.werr = err
+			return err
+		}
+	}
+	w, err := createJournalV2(j.fs, journalFile(j.dir))
+	if err != nil {
+		j.werr = err
 		return err
 	}
-	syncDir(j.dir)
+	syncDir(j.fs, j.dir)
 	j.w = w
+	j.werr = nil
 	j.ops = 0
 	return nil
 }
@@ -235,40 +595,24 @@ func (j *journal) compact() error {
 // rewrite atomically replaces the journal's entire content with entries: a
 // standby that accepted a full resync from the primary persists the received
 // log in one step. The entries land in the snapshot (a resync is morally a
-// compaction) and the live journal is truncated.
+// compaction, and fails as one) and the live journal is truncated.
 func (j *journal) rewrite(entries []Entry) error {
-	if err := j.w.Close(); err != nil {
-		return err
-	}
-	tmp := snapshotFile(j.dir) + ".tmp"
-	tw, err := acct.Create(tmp)
+	data, err := encodeSnapshot(entries)
 	if err != nil {
-		return fmt.Errorf("slurm: rewrite: %w", err)
+		return journalErr(ErrJournalCompact, err)
 	}
-	for _, e := range entries {
-		if err := tw.Append(e); err != nil {
-			tw.Close()
-			os.Remove(tmp)
-			return fmt.Errorf("slurm: rewrite: %w", err)
-		}
+	if err := j.writeSnapshotAtomic(data); err != nil {
+		return journalErr(ErrJournalCompact, err)
 	}
-	if err := tw.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("slurm: rewrite: %w", err)
-	}
-	if err := os.Rename(tmp, snapshotFile(j.dir)); err != nil {
-		return fmt.Errorf("slurm: rewrite: %w", err)
-	}
-	syncDir(j.dir)
-	w, err := acct.Create(journalFile(j.dir)) // truncate
-	if err != nil {
-		return err
-	}
-	syncDir(j.dir)
-	j.w = w
-	j.ops = 0
-	return nil
+	return journalErr(ErrJournalCompact, j.truncateLive())
 }
 
 // close releases the append handle.
-func (j *journal) close() error { return j.w.Close() }
+func (j *journal) close() error {
+	if j.w == nil {
+		return nil
+	}
+	err := j.w.close()
+	j.w = nil
+	return err
+}

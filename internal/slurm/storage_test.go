@@ -1,0 +1,661 @@
+package slurm
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/vfs"
+)
+
+// Storage-fault property campaign. The invariant under test is the recovery
+// contract from journal.go: whatever happens to the files on disk —
+// truncation at any byte offset, a flipped bit anywhere — reopening the
+// directory either yields a state equal to replaying a committed prefix of
+// the original workload, or refuses loudly. Never a silently divergent
+// state.
+
+// storageCampaignSeed drives the sampled parts of the campaign. CI overrides
+// it via STORAGE_FAULT_SEED; failures print it so any run is reproducible.
+func storageCampaignSeed(t *testing.T) uint64 {
+	t.Helper()
+	if s := os.Getenv("STORAGE_FAULT_SEED"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad STORAGE_FAULT_SEED %q: %v", s, err)
+		}
+		return v
+	}
+	return 1
+}
+
+// builtWorkload is a journaled workload run plus everything needed to judge
+// a recovery attempt against it.
+type builtWorkload struct {
+	cfg       Config
+	snap      []byte  // snapshot.jsonl bytes ("" when no compaction happened)
+	tail      []byte  // journal.jsonl bytes
+	committed []Entry // the full committed operation log
+	state     ctlState
+}
+
+// buildWorkload drives the representative workload through a journaled
+// controller and captures the resulting files and committed log.
+// snapshotEvery > 0 leaves a snapshot+journal pair; 0 leaves journal only.
+func buildWorkload(t *testing.T, snapshotEvery int) *builtWorkload {
+	t.Helper()
+	dir := t.TempDir()
+	cfg := testControllerConfig()
+	c, err := OpenJournaled(cfg, dir, snapshotEvery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveWorkload(t, c)
+	w := &builtWorkload{
+		cfg:       cfg,
+		committed: append([]Entry(nil), c.entries...),
+		state:     stateOf(c),
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w.snap, _ = os.ReadFile(snapshotFile(dir))
+	w.tail, err = os.ReadFile(journalFile(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snapshotEvery > 0 && len(w.snap) == 0 {
+		t.Fatal("workload did not compact; campaign needs a snapshot+journal pair")
+	}
+	return w
+}
+
+// restore materializes the workload's files (with the given journal bytes)
+// into a fresh directory.
+func (w *builtWorkload) restore(t *testing.T, snap, tail []byte) string {
+	t.Helper()
+	d := t.TempDir()
+	if len(snap) > 0 {
+		writeFile(t, snapshotFile(d), snap)
+	}
+	writeFile(t, journalFile(d), tail)
+	return d
+}
+
+// entryJSON renders an entry in its canonical journal encoding, the form in
+// which equality is meaningful (in-memory entries differ from recovered ones
+// in nil-vs-empty representation).
+func entryJSON(t *testing.T, e Entry) string {
+	t.Helper()
+	b, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// checkPrefix asserts that a successfully recovered controller holds an
+// exact prefix of the committed log — the "no silent divergence" property.
+func checkPrefix(t *testing.T, ctx string, c *Controller, committed []Entry) {
+	t.Helper()
+	got := c.entries
+	if len(got) > len(committed) {
+		t.Fatalf("%s: recovered %d entries, workload committed only %d", ctx, len(got), len(committed))
+	}
+	for i, e := range got {
+		if entryJSON(t, e) != entryJSON(t, committed[i]) {
+			t.Fatalf("%s: recovered log is not a committed prefix (diverges at entry %d of %d)",
+				ctx, i, len(got))
+		}
+	}
+}
+
+// TestJournalTruncationCampaign cuts the journal at EVERY byte offset —
+// journal-only and snapshot+journal layouts — and requires recovery under
+// the default FAIL policy to produce a committed prefix or refuse.
+func TestJournalTruncationCampaign(t *testing.T) {
+	for _, layout := range []struct {
+		name          string
+		snapshotEvery int
+	}{
+		{"journal-only", 0},
+		{"snapshot-and-journal", 4},
+	} {
+		t.Run(layout.name, func(t *testing.T) {
+			w := buildWorkload(t, layout.snapshotEvery)
+			for off := 0; off <= len(w.tail); off++ {
+				d := w.restore(t, w.snap, w.tail[:off])
+				c, err := OpenJournaled(w.cfg, d, 0)
+				if err != nil {
+					continue // loud refusal is an allowed outcome
+				}
+				checkPrefix(t, "truncate@"+strconv.Itoa(off), c, w.committed)
+				c.Close()
+			}
+		})
+	}
+}
+
+// TestJournalBitFlipCampaign flips one bit at a seeded sample of offsets in
+// the journal and the snapshot, recovering under both corruption policies.
+// FAIL may refuse; QUARANTINE must come up read-only on a committed prefix
+// with the damage preserved in quarantine.jsonl. Either way: never a
+// silently divergent replay.
+func TestJournalBitFlipCampaign(t *testing.T) {
+	seed := storageCampaignSeed(t)
+	w := buildWorkload(t, 4)
+	rng := des.NewRNG(seed).Stream("storage/bit-flip-campaign")
+	quarantineCfg := w.cfg
+	quarantineCfg.JournalCorruptPolicy = CorruptQuarantine
+
+	const flips = 150
+	for i := 0; i < flips; i++ {
+		// Alternate targets between the two files so both formats' defenses
+		// (per-frame CRC, snapshot manifest) are exercised.
+		target, name := w.tail, "journal"
+		if i%2 == 1 {
+			target, name = w.snap, "snapshot"
+		}
+		off := rng.Intn(len(target))
+		bit := byte(1) << uint(rng.Intn(8))
+		mut := append([]byte(nil), target...)
+		mut[off] ^= bit
+		ctx := name + " flip@" + strconv.Itoa(off) + " seed=" + strconv.FormatUint(seed, 10)
+
+		snap, tail := w.snap, mut
+		if name == "snapshot" {
+			snap, tail = mut, w.tail
+		}
+
+		// Default policy: refuse or recover a committed prefix.
+		if c, err := OpenJournaled(w.cfg, w.restore(t, snap, tail), 0); err == nil {
+			checkPrefix(t, ctx+" (fail policy)", c, w.committed)
+			c.Close()
+		}
+
+		// Quarantine policy: must come up; damage means read-only DEGRADED
+		// with a quarantine sidecar, and still an exact committed prefix.
+		d := w.restore(t, snap, tail)
+		c, err := OpenJournaled(quarantineCfg, d, 0)
+		if err != nil {
+			t.Fatalf("%s: quarantine policy refused to open: %v", ctx, err)
+		}
+		checkPrefix(t, ctx+" (quarantine policy)", c, w.committed)
+		info := c.Recovery()
+		if info.Quarantined {
+			if c.Health() != HealthDegraded {
+				t.Fatalf("%s: quarantined controller reports health %q, want degraded", ctx, c.Health())
+			}
+			if _, err := c.Submit("minife", 1, 1800, 900, "blocked"); !errors.Is(err, ErrDegraded) {
+				t.Fatalf("%s: quarantined controller accepted a mutation (err %v)", ctx, err)
+			}
+			if _, err := os.Stat(quarantineFile(d)); err != nil {
+				t.Fatalf("%s: quarantined without a quarantine.jsonl sidecar: %v", ctx, err)
+			}
+		}
+		c.Close()
+	}
+}
+
+// TestJournalTornTailThenAppend pins the recovered-fragment bug: after
+// recovery drops a torn tail, new appends must not concatenate onto the torn
+// bytes (which would fuse into one garbage line and silently lose the NEXT
+// acknowledged entry on a later recovery). Recovery must physically truncate
+// the fragment.
+func TestJournalTornTailThenAppend(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testControllerConfig()
+	c1, err := OpenJournaled(cfg, dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Submit("minife", 1, 1800, 900, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash mid-append: half a frame, no newline.
+	f, err := os.OpenFile(journalFile(dir), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("=000000ff 00"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	c2, err := OpenJournaled(cfg, dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Recovery().TornBytes == 0 {
+		t.Fatal("recovery did not report the torn tail")
+	}
+	if _, err := c2.Submit("minife", 1, 1800, 900, "b"); err != nil {
+		t.Fatal(err)
+	}
+	want := stateOf(c2)
+	if err := c2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The acknowledged post-recovery submit must survive the next recovery.
+	c3, err := OpenJournaled(cfg, dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	if got := stateOf(c3); !reflect.DeepEqual(got, want) {
+		t.Fatalf("entry appended after torn-tail recovery was lost:\n got %+v\nwant %+v", got, want)
+	}
+	if len(c3.entries) != 2 {
+		t.Fatalf("recovered %d entries, want 2", len(c3.entries))
+	}
+}
+
+// TestJournalV1MigrationRoundTrip: a plain-JSONL journal written by the
+// pre-checksum releases loads with identical replayed state, keeps accepting
+// appends in its own format, and is rewritten as a sealed v2 pair by the
+// next compaction — after which recovery still reproduces the same state.
+func TestJournalV1MigrationRoundTrip(t *testing.T) {
+	w := buildWorkload(t, 0)
+
+	// Render the committed log exactly as the v1 encoder did: one
+	// json.Marshal line per entry.
+	var v1 []byte
+	for _, e := range w.committed {
+		line, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v1 = append(v1, line...)
+		v1 = append(v1, '\n')
+	}
+	dir := t.TempDir()
+	writeFile(t, journalFile(dir), v1)
+
+	c, err := OpenJournaled(w.cfg, dir, 0)
+	if err != nil {
+		t.Fatalf("v1 journal rejected: %v", err)
+	}
+	if got := c.Recovery().JournalVersion; got != journalV1 {
+		t.Fatalf("journal recognized as v%d, want v1", got)
+	}
+	if got := stateOf(c); !reflect.DeepEqual(got, w.state) {
+		t.Fatalf("v1 replay diverges from the original run:\n got %+v\nwant %+v", got, w.state)
+	}
+
+	// Appends to a v1 file stay v1 (one format per file) until compaction
+	// migrates the pair to v2.
+	if _, err := c.Submit("minife", 1, 1800, 900, "post-v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.jr.compact(); err != nil {
+		t.Fatal(err)
+	}
+	want := stateOf(c)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	snapScan := scanFile(readFileT(t, snapshotFile(dir)), snapshotFile(dir), true)
+	if snapScan.version != journalV2 || !snapScan.manifest {
+		t.Fatalf("compaction did not migrate to a sealed v2 snapshot (version %d, manifest %v)",
+			snapScan.version, snapScan.manifest)
+	}
+	c2, err := OpenJournaled(w.cfg, dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if got := stateOf(c2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-migration recovery diverges:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestReadEntriesSeqInvariant: v1 parsing must cross-check sequence numbers.
+// A torn fragment that happens to parse as JSON with a stale seq is dropped
+// as a torn tail; an out-of-sequence record mid-file (verifiable records
+// after it) is corruption and errors.
+func TestReadEntriesSeqInvariant(t *testing.T) {
+	line := func(seq int) string {
+		return `{"seq":` + strconv.Itoa(seq) + `,"op":"advance","seconds":1}` + "\n"
+	}
+	dir := t.TempDir()
+
+	// Stale-seq tail: dropped, earlier entries kept.
+	p1 := filepath.Join(dir, "tail.jsonl")
+	writeFile(t, p1, []byte(line(1)+line(2)+line(2)))
+	got, err := readEntries(p1)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("stale-seq tail: entries=%d err=%v, want 2 entries salvaged", len(got), err)
+	}
+
+	// Mid-file gap with valid records after it: loud error, no salvage here.
+	p2 := filepath.Join(dir, "gap.jsonl")
+	writeFile(t, p2, []byte(line(1)+line(5)+line(6)))
+	if _, err := readEntries(p2); err == nil {
+		t.Fatal("mid-file sequence gap accepted")
+	}
+}
+
+// TestFsckReportAndRepair: fsck classifies mid-log damage as corrupt,
+// -repair salvages the committed prefix into a clean v2 pair, quarantines
+// the damaged record, and the repaired directory opens under the strict
+// policy with a committed-prefix state.
+func TestFsckReportAndRepair(t *testing.T) {
+	w := buildWorkload(t, 0)
+	// Flip a byte in the middle of the file: mid-log corruption, since valid
+	// frames follow.
+	mut := append([]byte(nil), w.tail...)
+	mut[len(mut)/2] ^= 0x10
+	dir := w.restore(t, nil, mut)
+
+	report, err := Fsck(vfs.OS{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Corrupt || report.Torn {
+		t.Fatalf("mid-log damage classified as corrupt=%v torn=%v, want corrupt", report.Corrupt, report.Torn)
+	}
+	if len(report.Journal.Damage) == 0 {
+		t.Fatal("fsck reported no per-record damage")
+	}
+	if !strings.Contains(report.Summary(), "CORRUPT") {
+		t.Fatalf("summary does not flag corruption:\n%s", report.Summary())
+	}
+	// The strict policy refuses this directory and names fsck.
+	if _, err := OpenJournaled(w.cfg, dir, 0); err == nil || !strings.Contains(err.Error(), "fsck") {
+		t.Fatalf("corrupt journal under FAIL policy: err %v, want refusal naming fsck", err)
+	}
+
+	pre, err := FsckRepair(vfs.OS{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.Committed == 0 {
+		t.Fatal("repair salvaged nothing")
+	}
+	qb, err := os.ReadFile(quarantineFile(dir))
+	if err != nil || len(qb) == 0 {
+		t.Fatalf("repair left no quarantine sidecar (err %v)", err)
+	}
+	var fd FileDamage
+	if err := json.Unmarshal([]byte(strings.SplitN(string(qb), "\n", 2)[0]), &fd); err != nil {
+		t.Fatalf("quarantine sidecar is not JSONL: %v", err)
+	}
+	if fd.Reason == "" || fd.RawB64 == "" {
+		t.Fatalf("quarantine record missing reason/raw bytes: %+v", fd)
+	}
+
+	after, err := Fsck(vfs.OS{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.Clean() {
+		t.Fatalf("repair left damage:\n%s", after.Summary())
+	}
+	c, err := OpenJournaled(w.cfg, dir, 0)
+	if err != nil {
+		t.Fatalf("repaired directory rejected: %v", err)
+	}
+	defer c.Close()
+	checkPrefix(t, "post-repair", c, w.committed)
+}
+
+// TestJournalTypedErrors: the breaker's operators must be able to tell a
+// failed append from a failed compaction; the two paths wrap distinct
+// sentinels, and a transient compaction fault leaves the append path healthy
+// (and heals on the next compact).
+func TestJournalTypedErrors(t *testing.T) {
+	// Append path, via the test hook the overload tests use.
+	dir := t.TempDir()
+	cfg := testControllerConfig()
+	c, err := OpenJournaled(cfg, dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.jr.testAppendErr = func(Entry) error { return errors.New("disk on fire") }
+	_, err = c.Submit("minife", 1, 1800, 900, "x")
+	if !errors.Is(err, ErrJournalAppend) || errors.Is(err, ErrJournalCompact) {
+		t.Fatalf("append failure = %v, want ErrJournalAppend and not ErrJournalCompact", err)
+	}
+	c.jr.testAppendErr = nil
+	c.Close()
+
+	// Compaction path, via an injected fsync fault on the snapshot temp
+	// file. Transient semantics so the retry can heal.
+	fsys := vfs.NewFaulty(vfs.OS{}, vfs.FaultProfile{Seed: 1, SyncFailTransient: true})
+	dir2 := t.TempDir()
+	c2, err := OpenJournaledFS(cfg, fsys, dir2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.Submit("minife", 1, 1800, 900, "y"); err != nil {
+		t.Fatal(err)
+	}
+	fsys.FailSyncs(1)
+	err = c2.jr.compact()
+	if !errors.Is(err, ErrJournalCompact) || errors.Is(err, ErrJournalAppend) {
+		t.Fatalf("compact failure = %v, want ErrJournalCompact and not ErrJournalAppend", err)
+	}
+	// The fault hit before the old writer was closed: appends still work...
+	if _, err := c2.Submit("minife", 1, 1800, 900, "z"); err != nil {
+		t.Fatalf("append after failed compact: %v", err)
+	}
+	// ...and the next compaction succeeds, leaving a recoverable pair.
+	if err := c2.jr.compact(); err != nil {
+		t.Fatalf("compact retry: %v", err)
+	}
+	want := stateOf(c2)
+	c3, err := OpenJournaled(cfg, dir2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	if got := stateOf(c3); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovery after compact fault+retry diverges:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestSyncDirErrorsCounted: directory-fsync failures are tolerated but
+// counted in the journal_sync_errors expvar (and logged once).
+func TestSyncDirErrorsCounted(t *testing.T) {
+	before := journalSyncErrors.Value()
+	fsys := vfs.NewFaulty(vfs.OS{}, vfs.FaultProfile{Seed: 1, SyncFailTransient: true})
+	fsys.FailSyncs(1)
+	syncDir(fsys, t.TempDir())
+	if got := journalSyncErrors.Value(); got != before+1 {
+		t.Fatalf("journal_sync_errors = %d after a failed dir fsync, want %d", got, before+1)
+	}
+	syncDir(fsys, t.TempDir()) // healthy dir fsync must not count
+	if got := journalSyncErrors.Value(); got != before+1 {
+		t.Fatalf("journal_sync_errors = %d after a clean dir fsync, want %d", got, before+1)
+	}
+}
+
+// TestHAPromotionFsckGate: a standby whose on-disk log has rotted must not
+// promote on it — the cluster's acknowledged history would shrink to the
+// salvaged prefix. It stays standby until the log verifies again.
+func TestHAPromotionFsckGate(t *testing.T) {
+	lease := 150 * time.Millisecond
+	a, b := startPair(t, lease)
+	cl, err := Dial(a.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := cl.Submit("minife", 1, 3600, 1800, "job"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Rot the standby's journal mid-file (valid frames follow the damage),
+	// then silence the primary.
+	good, err := os.ReadFile(journalFile(b.dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := append([]byte(nil), good...)
+	mut[len(mut)/2] ^= 0x01
+	writeFile(t, journalFile(b.dir), mut)
+	a.ctl.StopHA()
+
+	// The gate must hold through several lease expiries.
+	time.Sleep(5 * lease)
+	if role, _ := b.ctl.RoleEpoch(); role != RoleStandby {
+		t.Fatal("standby promoted on a corrupt journal")
+	}
+
+	// Restore the log; the next expiry passes fsck and promotes.
+	writeFile(t, journalFile(b.dir), good)
+	waitFor(t, 20*lease, "promotion after journal restored", func() bool {
+		role, _ := b.ctl.RoleEpoch()
+		return role == RolePrimary
+	})
+}
+
+// TestHAChaosFsyncDuringCompaction is the chaos headline: the standby runs
+// on fault-injecting storage whose fsyncs fail exactly around its
+// compaction threshold (the append that trips compact, then the resync
+// rewrites). The failed replicated append marks the follower for a full
+// resync; once the faults pass, the pair must converge — same engine state,
+// and byte-identical files once both logs are folded to canonical form.
+func TestHAChaosFsyncDuringCompaction(t *testing.T) {
+	cfg := testControllerConfig()
+	lease := 400 * time.Millisecond
+
+	// Primary on clean storage, journal-only.
+	aDir := t.TempDir()
+	aCtl, err := OpenJournaled(cfg, aDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer aCtl.Close()
+
+	// Standby on faulty storage, compacting every 4 appends.
+	fsys := vfs.NewFaulty(vfs.OS{}, vfs.FaultProfile{Seed: 1, SyncFailTransient: true})
+	bDir := t.TempDir()
+	bCtl, err := OpenJournaledFS(cfg, fsys, bDir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bCtl.Close()
+	bSrv := NewServer(bCtl)
+	bAddr, err := bSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bSrv.Close()
+
+	if err := aCtl.StartHA(HAOptions{Peer: bAddr, Lease: lease}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bCtl.StartHA(HAOptions{Standby: true, Peer: "127.0.0.1:1", Lease: 10 * lease}); err != nil {
+		t.Fatal(err)
+	}
+
+	submit := func(name string) {
+		t.Helper()
+		_, err := aCtl.Submit("minife", 1, 3600, 1800, name)
+		if err != nil && !errors.Is(err, errReplication) {
+			t.Fatalf("submit %s: %v", name, err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		submit("pre" + strconv.Itoa(i))
+	}
+	// The next replicated append is the standby's 4th: append fsync + the
+	// compaction it triggers. Script the next three fsyncs to fail — the
+	// append (marks the follower for full resync), then the resync rewrites
+	// until the fault window passes.
+	fsys.FailSyncs(3)
+	for i := 0; i < 7; i++ {
+		submit("mid" + strconv.Itoa(i))
+	}
+
+	// Heartbeats drive retry and full resync; the pair must converge.
+	waitFor(t, 40*lease, "pair state convergence after fsync faults", func() bool {
+		return reflect.DeepEqual(stateOf(aCtl), stateOf(bCtl))
+	})
+	if fsys.Stats().SyncFails == 0 {
+		t.Fatal("chaos run injected no fsync faults")
+	}
+	if h := bCtl.Health(); h != HealthOK {
+		t.Fatalf("standby health after resync = %q, want ok", h)
+	}
+
+	// Byte convergence: fold each node's log to canonical form (snapshot of
+	// everything + empty journal) and compare the files byte for byte.
+	aCtl.Close()
+	bCtl.Close()
+	aSnap, aTail := canonicalize(t, cfg, aDir)
+	bSnap, bTail := canonicalize(t, cfg, bDir)
+	if string(aSnap) != string(bSnap) || string(aTail) != string(bTail) {
+		t.Fatalf("pair not byte-convergent after resync: snapshots %d vs %d bytes, journals %d vs %d bytes",
+			len(aSnap), len(bSnap), len(aTail), len(bTail))
+	}
+	if len(aSnap) == 0 {
+		t.Fatal("canonical snapshots empty: chaos run exercised nothing")
+	}
+}
+
+// canonicalize folds a directory's committed log into its canonical form —
+// one sealed snapshot holding everything, one empty journal — and returns
+// both files' bytes.
+func canonicalize(t *testing.T, cfg Config, dir string) (snap, tail []byte) {
+	t.Helper()
+	j, entries, _, err := openJournal(vfs.OS{}, dir, 0, CorruptFail)
+	if err != nil {
+		t.Fatalf("canonicalize %s: %v", dir, err)
+	}
+	if err := j.rewrite(entries); err != nil {
+		t.Fatalf("canonicalize %s: %v", dir, err)
+	}
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+	return readFileT(t, snapshotFile(dir)), readFileT(t, journalFile(dir))
+}
+
+func readFileT(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestJournalCorruptPolicyConfigKey: the slurm.conf key parses, validates,
+// and defaults to FAIL.
+func TestJournalCorruptPolicyConfigKey(t *testing.T) {
+	base := "NodeName=n[1-4] CPUs=8 ThreadsPerCore=2 RealMemory=1024\n"
+	cfg, err := ParseConfig(strings.NewReader(base + "JournalCorruptPolicy=QUARANTINE\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.JournalCorruptPolicy != CorruptQuarantine {
+		t.Fatalf("policy = %q, want quarantine", cfg.JournalCorruptPolicy)
+	}
+	cfg, err = ParseConfig(strings.NewReader(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.JournalCorruptPolicy != "" {
+		t.Fatalf("policy defaulted to %q, want empty (FAIL)", cfg.JournalCorruptPolicy)
+	}
+	if _, err := ParseConfig(strings.NewReader(base + "JournalCorruptPolicy=shrug\n")); err == nil {
+		t.Fatal("bad policy value validated")
+	}
+}

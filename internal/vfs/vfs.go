@@ -1,0 +1,105 @@
+// Package vfs is the filesystem seam under every durability path: the
+// controller's write-ahead journal, snapshot compaction, the durable
+// accounting writer, and HA full-resync rewrites all perform file I/O
+// through the FS interface rather than the os package directly. Production
+// code passes OS{}, a zero-cost passthrough; storage-robustness tests pass
+// Faulty, a deterministic fault injector that produces torn writes, fsync
+// failures, read-time bit rot, and crash points from named des RNG streams,
+// so every "the disk lied" recovery path is exercisable from a seed.
+package vfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"sort"
+)
+
+// File is the writable/readable handle surface the durability paths need.
+// Sync must force written data to stable storage before returning.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Name returns the path the file was opened with (for error messages).
+	Name() string
+	// Sync flushes the file's data to stable storage.
+	Sync() error
+}
+
+// FS is the filesystem operation surface of the durability layer. It is
+// deliberately small: only the operations the journal, compaction, resync,
+// and accounting writers actually perform, so a fault injector can cover
+// all of them.
+type FS interface {
+	// Open opens path read-only.
+	Open(path string) (File, error)
+	// Create opens path truncated for writing, creating it if missing.
+	Create(path string) (File, error)
+	// OpenAppend opens path for appending, creating it if missing.
+	OpenAppend(path string) (File, error)
+	// ReadFile reads the whole file; a missing file returns an error
+	// satisfying os.IsNotExist.
+	ReadFile(path string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes path (missing file returns an os.IsNotExist error).
+	Remove(path string) error
+	// Truncate cuts path to size bytes.
+	Truncate(path string, size int64) error
+	// MkdirAll creates path and its parents.
+	MkdirAll(path string, perm fs.FileMode) error
+	// SyncDir fsyncs a directory so renames and creations inside it survive
+	// power loss. Filesystems without directory fsync report an error.
+	SyncDir(dir string) error
+	// ReadDir lists the names of directory entries in dir, sorted.
+	ReadDir(dir string) ([]string, error)
+}
+
+// OS is the production FS: a direct passthrough to the os package.
+type OS struct{}
+
+func (OS) Open(path string) (File, error) { return os.Open(path) }
+
+func (OS) Create(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+}
+
+func (OS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (OS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OS) Remove(path string) error { return os.Remove(path) }
+
+func (OS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+func (OS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (OS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}

@@ -1,0 +1,225 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+// TestOSRoundTrip sanity-checks the passthrough: create, append, read,
+// rename, truncate, dir listing.
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var fsys FS = OS{}
+	p := filepath.Join(dir, "a.txt")
+	f, err := fsys.Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := fsys.OpenAppend(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Write([]byte("world\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fsys.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello\nworld\n" {
+		t.Fatalf("read %q", data)
+	}
+	if err := fsys.Truncate(p, 6); err != nil {
+		t.Fatal(err)
+	}
+	q := filepath.Join(dir, "b.txt")
+	if err := fsys.Rename(p, q); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "b.txt" {
+		t.Fatalf("dir listing %v", names)
+	}
+	data, err = fsys.ReadFile(q)
+	if err != nil || string(data) != "hello\n" {
+		t.Fatalf("after truncate+rename: %q, %v", data, err)
+	}
+}
+
+// TestFaultyDeterministic: the same seed and operation sequence injects the
+// same faults; a different seed produces a different schedule.
+func TestFaultyDeterministic(t *testing.T) {
+	run := func(seed uint64) (FaultStats, []byte) {
+		dir := t.TempDir()
+		f := NewFaulty(OS{}, FaultProfile{
+			Seed:          seed,
+			TornWriteProb: 0.3,
+			SyncFailProb:  0.2,
+			BitFlipProb:   0.4,
+		})
+		p := filepath.Join(dir, "x")
+		var got []byte
+		for i := 0; i < 50; i++ {
+			w, err := f.OpenAppend(p)
+			if err != nil {
+				continue
+			}
+			w.Write([]byte("0123456789"))
+			w.Sync()
+			w.Close()
+			if data, err := f.ReadFile(p); err == nil {
+				got = append(got, data...)
+			}
+		}
+		return f.Stats(), got
+	}
+	s1, d1 := run(7)
+	s2, d2 := run(7)
+	if s1 != s2 || !bytes.Equal(d1, d2) {
+		t.Fatalf("same seed diverged: %+v vs %+v", s1, s2)
+	}
+	if s1.TornWrites == 0 || s1.SyncFails == 0 || s1.BitFlips == 0 {
+		t.Fatalf("profile injected nothing: %+v", s1)
+	}
+	s3, _ := run(8)
+	if s1 == s3 {
+		t.Fatalf("different seeds produced identical fault schedules: %+v", s1)
+	}
+}
+
+// TestFaultyTornWritePersistsPrefix: a torn write leaves a strict prefix of
+// the buffer on disk and surfaces ErrTornWrite.
+func TestFaultyTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaulty(OS{}, FaultProfile{Seed: 1, TornWriteProb: 1})
+	p := filepath.Join(dir, "x")
+	w, err := f.Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("abcdefghij")
+	n, err := w.Write(payload)
+	if !errors.Is(err, ErrTornWrite) {
+		t.Fatalf("want ErrTornWrite, got %v", err)
+	}
+	if n >= len(payload) {
+		t.Fatalf("torn write persisted the whole buffer (%d bytes)", n)
+	}
+	w.Close()
+	data, err := OS{}.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, payload[:n]) {
+		t.Fatalf("on-disk %q is not the reported prefix %q", data, payload[:n])
+	}
+}
+
+// TestFaultySyncFailForever: after one injected fsync failure the same
+// file's syncs keep failing (the postgres fsync-gate semantics), while a
+// transient profile heals.
+func TestFaultySyncFailForever(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaulty(OS{}, FaultProfile{Seed: 1})
+	f.FailSyncs(1)
+	p := filepath.Join(dir, "x")
+	w, err := f.Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Sync(); !errors.Is(err, ErrSyncFailed) {
+		t.Fatalf("scripted sync failure missing: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.Sync(); !errors.Is(err, ErrSyncFailed) {
+			t.Fatalf("sync %d healed after failure: %v", i, err)
+		}
+	}
+
+	ft := NewFaulty(OS{}, FaultProfile{Seed: 1, SyncFailTransient: true})
+	ft.FailSyncs(1)
+	wt, err := ft.Create(filepath.Join(dir, "y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wt.Close()
+	if err := wt.Sync(); !errors.Is(err, ErrSyncFailed) {
+		t.Fatalf("scripted transient failure missing: %v", err)
+	}
+	if err := wt.Sync(); err != nil {
+		t.Fatalf("transient profile did not heal: %v", err)
+	}
+}
+
+// TestFaultyCrashPoint: a scripted crash refuses the crashing write and all
+// later operations until Revive.
+func TestFaultyCrashPoint(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaulty(OS{}, FaultProfile{Seed: 1})
+	p := filepath.Join(dir, "x")
+	w, err := f.Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.CrashAfterWrites(1)
+	if _, err := w.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("never")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	if _, err := f.ReadFile(p); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash read allowed: %v", err)
+	}
+	w.Close()
+	f.Revive()
+	data, err := f.ReadFile(p)
+	if err != nil || string(data) != "ok" {
+		t.Fatalf("after revive: %q, %v", data, err)
+	}
+}
+
+// TestFaultyBitFlip: with BitFlipProb=1 every non-empty read differs from
+// the stored bytes by exactly one bit.
+func TestFaultyBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "x")
+	w, _ := OS{}.Create(p)
+	w.Write([]byte{0x00, 0x00, 0x00, 0x00})
+	w.Close()
+	f := NewFaulty(OS{}, FaultProfile{Seed: 3, BitFlipProb: 1})
+	data, err := f.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ones := 0
+	for _, b := range data {
+		for i := 0; i < 8; i++ {
+			ones += int(b >> uint(i) & 1)
+		}
+	}
+	if ones != 1 {
+		t.Fatalf("want exactly one flipped bit, got %d (data %x)", ones, data)
+	}
+}
