@@ -1,0 +1,39 @@
+package slurm
+
+import (
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+func TestReviewCompactFaultSeqReuse(t *testing.T) {
+	fsys := vfs.NewFaulty(vfs.OS{}, vfs.FaultProfile{Seed: 1, SyncFailTransient: true})
+	dir := t.TempDir()
+	cfg := testControllerConfig()
+	c, err := OpenJournaledFS(cfg, fsys, dir, 2) // compact every 2 appends
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit("minife", 1, 1800, 900, "a"); err != nil {
+		t.Fatalf("submit a: %v", err)
+	}
+	fsys.FailSyncs(1) // next fsync (snapshot tmp during inline compact) fails
+	if _, err := c.Submit("minife", 1, 1800, 900, "b"); err == nil {
+		t.Log("submit b succeeded (no inline compact fault)")
+	} else {
+		t.Logf("submit b failed as expected: %v", err)
+	}
+	// Client retries; controller keeps serving.
+	if _, err := c.Submit("minife", 1, 1800, 900, "b2"); err != nil {
+		t.Logf("submit b2: %v", err)
+	}
+	if _, err := c.Submit("minife", 1, 1800, 900, "c"); err != nil {
+		t.Logf("submit c: %v", err)
+	}
+	c.Close()
+	c2, err := OpenJournaled(cfg, dir, 0)
+	if err != nil {
+		t.Fatalf("RECOVERY REFUSED: %v", err)
+	}
+	c2.Close()
+}
