@@ -1,0 +1,151 @@
+package repro
+
+// TestEmitBenchFabricJSON measures the distributed sweep fabric against the
+// in-process parallel runner on the same grid and writes BENCH_fabric.json:
+// cells/sec for a localhost 4-daemon fabric run vs. -workers 4, the fault
+// counters the run accrued (requeues, speculative grants/wins, dedupes),
+// and a byte-identity verdict. Opt-in — set BENCH_FABRIC_JSON to the output
+// path:
+//
+//	BENCH_FABRIC_JSON=BENCH_fabric.json go test -run TestEmitBenchFabricJSON -count=1 .
+//
+// CI runs it in the fabric job and uploads the file as an artifact.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/parallel"
+	"repro/internal/sweepgrid"
+)
+
+type benchFabricReport struct {
+	Schema   string         `json:"schema"`
+	HostCPUs int            `json:"host_cpus"`
+	Grid     sweepgrid.Spec `json:"grid"`
+	// CellsPerSec compares the two execution paths on this host: the
+	// in-process pool ("local_workers_4") and four worker daemons completing
+	// cells over localhost TCP ("fabric_4_daemons").
+	CellsPerSec map[string]float64 `json:"cells_per_sec"`
+	// FabricEfficiency is fabric over local throughput — the price of
+	// leases, heartbeats, and TCP on a single host (expect <1; the fabric
+	// buys fault tolerance and multi-host scale, not single-host speed).
+	FabricEfficiency float64 `json:"fabric_efficiency_4d"`
+	// Counters is the fabric run's decision tally (requeues and speculative
+	// wins are normally 0 on a quiet localhost run; nonzero values mean the
+	// machinery fired).
+	Counters fabric.Counters `json:"counters"`
+	// ByteIdentical records that the fabric CSV equalled the local CSV.
+	ByteIdentical bool `json:"byte_identical"`
+}
+
+func TestEmitBenchFabricJSON(t *testing.T) {
+	out := os.Getenv("BENCH_FABRIC_JSON")
+	if out == "" {
+		t.Skip("set BENCH_FABRIC_JSON=<path> to emit the fabric perf file")
+	}
+
+	spec := sweepgrid.Spec{
+		Policies: []string{"easy", "sharefirstfit", "sharebackfill"},
+		Loads:    []float64{0.9, 1.4},
+		Seeds:    2,
+		Nodes:    32,
+		Jobs:     150,
+		Mix:      "trinity",
+		Scale:    0.05,
+	}
+	n := spec.NumCells()
+
+	// Local path: the §10 in-process pool at 4 workers.
+	var localBuf bytes.Buffer
+	localStart := time.Now()
+	err := parallel.RunOrdered(n, 4,
+		func(i int) ([]byte, error) { return spec.RunCellBytes(i) },
+		func(i int, row []byte) error { _, err := localBuf.Write(row); return err })
+	if err != nil {
+		t.Fatal(err)
+	}
+	localSecs := time.Since(localStart).Seconds()
+
+	// Fabric path: dispatcher + 4 worker daemons over localhost TCP, built
+	// exactly as cmd/simd builds them.
+	raw, err := spec.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var remoteBuf bytes.Buffer
+	d, err := fabric.NewDispatcher(fabric.Config{
+		Cells: n,
+		Spec:  raw,
+		Consume: func(i int, row []byte) error {
+			_, err := remoteBuf.Write(row)
+			return err
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	addr, err := d.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	fabricStart := time.Now()
+	for i := 0; i < 4; i++ {
+		w, err := fabric.NewWorker(fabric.WorkerConfig{
+			ID:   fmt.Sprintf("bench-daemon-%d", i),
+			Addr: addr,
+			Fn: func(ctx context.Context, cell int, progress func(float64)) ([]byte, error) {
+				return spec.RunCellBytes(cell)
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go w.Run(ctx)
+	}
+	if err := d.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	fabricSecs := time.Since(fabricStart).Seconds()
+
+	identical := bytes.Equal(localBuf.Bytes(), remoteBuf.Bytes())
+	if !identical {
+		t.Errorf("fabric output differs from local run (%d vs %d bytes)",
+			remoteBuf.Len(), localBuf.Len())
+	}
+
+	report := benchFabricReport{
+		Schema:   "bench-fabric/v1",
+		HostCPUs: runtime.NumCPU(),
+		Grid:     spec,
+		CellsPerSec: map[string]float64{
+			"local_workers_4":  float64(n) / localSecs,
+			"fabric_4_daemons": float64(n) / fabricSecs,
+		},
+		Counters:      d.Counters(),
+		ByteIdentical: identical,
+	}
+	report.FabricEfficiency = report.CellsPerSec["fabric_4_daemons"] / report.CellsPerSec["local_workers_4"]
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: fabric %.1f cells/s vs local %.1f cells/s (%.2fx), byte_identical=%v, counters=%+v",
+		out, report.CellsPerSec["fabric_4_daemons"], report.CellsPerSec["local_workers_4"],
+		report.FabricEfficiency, identical, report.Counters)
+}

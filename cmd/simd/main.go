@@ -1,0 +1,169 @@
+// Command simd is the sweep fabric's worker daemon: it dials a dispatcher
+// (sweep -dispatch), fetches the grid spec at hello, and runs
+// lease → execute → complete loops until the campaign is done. It is built
+// to be killed: leases it holds are reclaimed by the dispatcher, duplicates
+// of its work dedupe first-result-wins, and on restart it simply rejoins.
+//
+//	simd -dispatch host:7077 -parallel 4 -health :7078
+//
+// Signals follow the mini-slurm convention: the first SIGINT/SIGTERM drains
+// (each loop finishes and completes its in-flight cell, says goodbye, and
+// exits); a second signal kills immediately (in-flight work is abandoned to
+// the dispatcher's reclaim machinery). The -health address answers the
+// mini-slurm-style health verb with an ok|draining|fenced status and a
+// fabric section (cells done, current lease).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/sweepgrid"
+)
+
+func main() {
+	dispatch := flag.String("dispatch", "", "dispatcher address (required), e.g. host:7077")
+	id := flag.String("id", "", "stable worker identity (default: hostname-pid)")
+	parallel := flag.Int("parallel", 0, "concurrent cell loops (0 = all cores)")
+	health := flag.String("health", "", "serve the health verb on this address (e.g. :7078)")
+	specTimeout := flag.Duration("spec-timeout", time.Minute,
+		"how long to retry fetching the spec from the dispatcher")
+	flag.Parse()
+
+	if *dispatch == "" {
+		fatal(fmt.Errorf("-dispatch is required"))
+	}
+	if *id == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "simd"
+		}
+		*id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if *parallel <= 0 {
+		*parallel = runtime.NumCPU()
+	}
+
+	d, err := newDaemon(*dispatch, *id, *parallel, *specTimeout)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *health != "" {
+		bound, stop, err := fabric.ServeHealth(*health, d.healthReport)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
+		fmt.Fprintln(os.Stderr, "simd: health on", bound)
+	}
+
+	// First signal drains, second kills — the shutdown ladder ops expect.
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "simd: draining (signal again to kill)")
+		d.Drain()
+		<-sigs
+		fmt.Fprintln(os.Stderr, "simd: killed")
+		d.Kill()
+	}()
+
+	fmt.Fprintf(os.Stderr, "simd: %s running %d loops against %s (%d cells)\n",
+		*id, *parallel, *dispatch, d.cells)
+	d.Run(context.Background())
+	rep := d.healthReport()
+	fmt.Fprintf(os.Stderr, "simd: done, %d cells completed\n", rep.Fabric.CellsDone)
+}
+
+// daemon is a fleet of worker loops sharing one identity prefix and one
+// fetched spec.
+type daemon struct {
+	workers []*fabric.Worker
+	cells   int
+}
+
+// newDaemon fetches and validates the spec, then builds (but does not start)
+// the worker loops. A spec the daemon cannot honour — wrong mix name,
+// impossible grid — is rejected here, before any lease is taken.
+func newDaemon(dispatch, id string, parallel int, specTimeout time.Duration) (*daemon, error) {
+	raw, cells, err := fabric.FetchSpec(dispatch, specTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("fetch spec: %w", err)
+	}
+	spec, err := sweepgrid.DecodeSpec(raw)
+	if err != nil {
+		return nil, err
+	}
+	if got := spec.NumCells(); got != cells {
+		return nil, fmt.Errorf("spec disagrees with dispatcher: %d cells vs %d advertised", got, cells)
+	}
+
+	d := &daemon{cells: cells}
+	for i := 0; i < parallel; i++ {
+		w, err := fabric.NewWorker(fabric.WorkerConfig{
+			ID:   fmt.Sprintf("%s/%d", id, i),
+			Addr: dispatch,
+			Fn: func(ctx context.Context, cell int, progress func(float64)) ([]byte, error) {
+				return spec.RunCellBytes(cell)
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		d.workers = append(d.workers, w)
+	}
+	return d, nil
+}
+
+// Run drives every loop until the campaign is done, the daemon is killed, or
+// a drain completes.
+func (d *daemon) Run(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, w := range d.workers {
+		wg.Add(1)
+		go func(w *fabric.Worker) {
+			defer wg.Done()
+			w.Run(ctx)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Drain lets each loop finish and complete its in-flight cell, then exit.
+func (d *daemon) Drain() {
+	for _, w := range d.workers {
+		w.Drain()
+	}
+}
+
+// Kill abandons in-flight work immediately; the dispatcher reclaims.
+func (d *daemon) Kill() {
+	for _, w := range d.workers {
+		w.Kill()
+	}
+}
+
+// healthReport folds every loop's snapshot into the daemon-level health verb
+// reply.
+func (d *daemon) healthReport() fabric.HealthReport {
+	snaps := make([]fabric.WorkerSnapshot, 0, len(d.workers))
+	for _, w := range d.workers {
+		snaps = append(snaps, w.Snapshot())
+	}
+	return fabric.AggregateHealth(snaps)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"context"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/fabric"
+	"repro/internal/sweepgrid"
+)
+
+// runDispatch serves the grid to simd daemons: sweep becomes the fabric
+// dispatcher and the CSV is reassembled from remotely-computed rows in
+// strict grid order — byte-identical to the local path, because both sides
+// run the same sweepgrid cells and row encoder. started (optional) receives
+// the bound address once listening, so tests can dial an ephemeral port.
+func runDispatch(cfg config, addr string, out io.Writer, verbose bool, started func(string)) error {
+	spec := cfg.spec()
+	specBytes, err := spec.Marshal()
+	if err != nil {
+		return err
+	}
+	fcfg := fabric.Config{
+		Cells: spec.NumCells(),
+		Spec:  specBytes,
+		Consume: func(i int, row []byte) error {
+			_, err := out.Write(row)
+			return err
+		},
+	}
+	if verbose {
+		logger := log.New(os.Stderr, "sweep: ", log.Ltime|log.Lmicroseconds)
+		fcfg.Logf = logger.Printf
+	}
+	d, err := fabric.NewDispatcher(fcfg)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	// Header goes out before Listen: once the port is open, workers can
+	// complete cells and Consume starts writing rows concurrently.
+	header, err := sweepgrid.EncodeRow(sweepgrid.Header())
+	if err != nil {
+		return err
+	}
+	if _, err := out.Write(header); err != nil {
+		return err
+	}
+	bound, err := d.Listen(addr)
+	if err != nil {
+		return err
+	}
+	if started != nil {
+		started(bound)
+	}
+	return d.Wait(context.Background())
+}

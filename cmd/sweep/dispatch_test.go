@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/sweepgrid"
+)
+
+// TestDifferentialDispatch is the distributed half of the determinism
+// contract: the same grid served through the fabric dispatcher to worker
+// daemons must emit CSV byte-identical to the in-process -workers path. Rows
+// are computed remotely, complete out of order, and are reassembled in
+// strict grid order — the bytes must not care.
+func TestDifferentialDispatch(t *testing.T) {
+	cfg := gridConfig(t, 2)
+	local := runToBytes(t, cfg)
+
+	var remote bytes.Buffer
+	started := make(chan string, 1)
+	dispatchErr := make(chan error, 1)
+	go func() {
+		dispatchErr <- runDispatch(cfg, "127.0.0.1:0", &remote, false,
+			func(addr string) { started <- addr })
+	}()
+
+	var addr string
+	select {
+	case addr = <-started:
+	case err := <-dispatchErr:
+		t.Fatalf("dispatcher exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("dispatcher never started listening")
+	}
+
+	// Worker daemons, exactly as cmd/simd builds them: fetch the spec at
+	// hello, run cells from it.
+	raw, cells, err := fabric.FetchSpec(addr, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := sweepgrid.DecodeSpec(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells != spec.NumCells() {
+		t.Fatalf("dispatcher advertises %d cells, spec has %d", cells, spec.NumCells())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	for i := 0; i < 3; i++ {
+		w, err := fabric.NewWorker(fabric.WorkerConfig{
+			ID:   string(rune('a' + i)),
+			Addr: addr,
+			Fn: func(ctx context.Context, cell int, progress func(float64)) ([]byte, error) {
+				return spec.RunCellBytes(cell)
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go w.Run(ctx)
+	}
+
+	select {
+	case err := <-dispatchErr:
+		if err != nil {
+			t.Fatalf("dispatch campaign: %v", err)
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatal("dispatch campaign did not finish")
+	}
+
+	if !bytes.Equal(local, remote.Bytes()) {
+		t.Fatalf("dispatched output differs from local run:\n--- local ---\n%s\n--- dispatched ---\n%s",
+			local, remote.Bytes())
+	}
+}

@@ -7,6 +7,13 @@
 // count (cmd/sweep's differential test enforces this).
 //
 //	sweep -policies easy,sharebackfill -loads 0.6,0.9,1.2,1.5 -seeds 5 > grid.csv
+//
+// With -dispatch the same grid is served to remote simd daemons instead of
+// local goroutines: sweep becomes a fault-tolerant dispatcher (leases,
+// requeues, speculation, first-result-wins dedup) and still emits the same
+// bytes, reassembled in strict grid order.
+//
+//	sweep -dispatch :7077 -seeds 5 > grid.csv      # then: simd -dispatch host:7077
 package main
 
 import (
@@ -16,10 +23,8 @@ import (
 	"io"
 	"os"
 
-	"repro/internal/cluster"
-	"repro/internal/core"
 	"repro/internal/parallel"
-	"repro/internal/workload"
+	"repro/internal/sweepgrid"
 )
 
 // config is a fully validated sweep invocation.
@@ -29,17 +34,23 @@ type config struct {
 	seeds    int
 	nodes    int
 	jobs     int
-	mix      workload.Mix
+	mixName  string
 	scale    float64
 	workers  int
 }
 
-// cell is one grid coordinate; the grid is policy-major, then load, then
-// seed, matching the original sequential loop nest.
-type cell struct {
-	policy string
-	load   float64
-	seed   uint64
+// spec renders the config as the shared grid definition both execution
+// paths (local goroutines, dispatched daemons) run from.
+func (c config) spec() sweepgrid.Spec {
+	return sweepgrid.Spec{
+		Policies: c.policies,
+		Loads:    c.loads,
+		Seeds:    c.seeds,
+		Nodes:    c.nodes,
+		Jobs:     c.jobs,
+		Mix:      c.mixName,
+		Scale:    c.scale,
+	}
 }
 
 func main() {
@@ -52,14 +63,24 @@ func main() {
 	mixName := flag.String("mix", "trinity", "application mix")
 	scale := flag.Float64("scale", 0.05, "runtime scale")
 	workers := flag.Int("workers", 0, "parallel grid workers (0 = all cores)")
+	dispatch := flag.String("dispatch", "",
+		"serve the grid to simd daemons on this address (e.g. :7077) instead of running locally")
+	verbose := flag.Bool("verbose", false, "log every lease decision to stderr (dispatch mode)")
 	flag.Parse()
 
 	cfg, err := validate(*policies, *loads, *seeds, *nodes, *jobs, *mixName, *scale, *workers)
 	if err != nil {
 		fatal(err)
 	}
-	if err := run(cfg, os.Stdout); err != nil {
-		// Completed rows were already flushed by run; exit non-zero without
+	if *dispatch != "" {
+		err = runDispatch(cfg, *dispatch, os.Stdout, *verbose, func(addr string) {
+			fmt.Fprintln(os.Stderr, "sweep: dispatching grid on", addr)
+		})
+	} else {
+		err = run(cfg, os.Stdout)
+	}
+	if err != nil {
+		// Completed rows were already flushed; exit non-zero without
 		// dropping them.
 		fatal(err)
 	}
@@ -77,51 +98,29 @@ func validate(policies, loads string, seeds, nodes, jobs int, mixName string,
 	if cfg.loads, err = parseLoads(loads); err != nil {
 		return config{}, err
 	}
+	cfg.seeds, cfg.nodes, cfg.jobs, cfg.scale = seeds, nodes, jobs, scale
+	cfg.mixName = mixName
+	cfg.workers = workers
+	if err := cfg.spec().Validate(); err != nil {
+		return config{}, err
+	}
 	if seeds < 1 {
 		return config{}, fmt.Errorf("-seeds must be ≥ 1, got %d", seeds)
 	}
-	if nodes < 1 {
-		return config{}, fmt.Errorf("-nodes must be ≥ 1, got %d", nodes)
-	}
-	if jobs < 1 {
-		return config{}, fmt.Errorf("-jobs must be ≥ 1, got %d", jobs)
-	}
-	if !(scale > 0) {
-		return config{}, fmt.Errorf("-scale must be > 0, got %g", scale)
-	}
-	if cfg.mix, err = workload.MixByName(mixName); err != nil {
-		return config{}, err
-	}
-	cfg.seeds, cfg.nodes, cfg.jobs, cfg.scale = seeds, nodes, jobs, scale
-	cfg.workers = workers
 	return cfg, nil
 }
 
-// run executes the grid and streams CSV rows to out in grid order. On error
-// the completed row prefix is flushed before returning, so a mid-grid
-// failure never discards finished work.
+// run executes the grid in-process and streams CSV rows to out in grid
+// order. On error the completed row prefix is flushed before returning, so a
+// mid-grid failure never discards finished work.
 func run(cfg config, out io.Writer) error {
-	cells := make([]cell, 0, len(cfg.policies)*len(cfg.loads)*cfg.seeds)
-	for _, policy := range cfg.policies {
-		for _, load := range cfg.loads {
-			for s := 0; s < cfg.seeds; s++ {
-				cells = append(cells, cell{policy: policy, load: load, seed: uint64(42 + s)})
-			}
-		}
-	}
-
+	spec := cfg.spec()
 	w := csv.NewWriter(out)
-	if err := w.Write([]string{
-		"policy", "load", "seed", "finished", "makespan_s",
-		"comp_efficiency", "sched_efficiency", "utilization", "shared_fraction",
-		"wait_mean_s", "wait_p95_s", "slowdown_mean", "stretch_mean",
-	}); err != nil {
+	if err := w.Write(sweepgrid.Header()); err != nil {
 		return err
 	}
-
-	machine := cluster.Trinity(cfg.nodes)
-	err := parallel.RunOrdered(len(cells), cfg.workers,
-		func(i int) ([]string, error) { return runCell(cfg, machine, cells[i]) },
+	err := parallel.RunOrdered(spec.NumCells(), cfg.workers,
+		func(i int) ([]string, error) { return spec.RunCell(i) },
 		func(i int, row []string) error { return w.Write(row) })
 	// Flush whatever reached the writer — on failure that is every row below
 	// the first failing cell — before reporting the error.
@@ -130,43 +129,6 @@ func run(cfg config, out io.Writer) error {
 		return err
 	}
 	return w.Error()
-}
-
-// runCell executes one grid cell: an isolated simulation built entirely from
-// the cell's coordinates (its own workload, cluster, and engine), safe to
-// run concurrently with any other cell.
-func runCell(cfg config, machine cluster.Config, c cell) ([]string, error) {
-	generated, err := workload.Generate(workload.Spec{
-		Mix: cfg.mix, Jobs: cfg.jobs, Arrival: workload.Poisson, Load: c.load,
-		Cluster: machine, RuntimeScale: cfg.scale, Seed: c.seed,
-	})
-	if err != nil {
-		return nil, err
-	}
-	sys, err := core.NewSystem(core.Config{Machine: machine, Policy: c.policy})
-	if err != nil {
-		return nil, err
-	}
-	if err := sys.SubmitJobs(generated); err != nil {
-		return nil, err
-	}
-	sys.Run()
-	r := sys.Metrics()
-	return []string{
-		c.policy,
-		fmt.Sprintf("%g", c.load),
-		fmt.Sprintf("%d", c.seed),
-		fmt.Sprintf("%d", r.Finished),
-		fmt.Sprintf("%.1f", float64(r.Makespan)),
-		fmt.Sprintf("%.4f", r.CompEfficiency),
-		fmt.Sprintf("%.4f", r.SchedEfficiency),
-		fmt.Sprintf("%.4f", r.Utilization),
-		fmt.Sprintf("%.4f", r.SharedFraction),
-		fmt.Sprintf("%.1f", r.Wait.Mean),
-		fmt.Sprintf("%.1f", r.Wait.P95),
-		fmt.Sprintf("%.3f", r.Slowdown.Mean),
-		fmt.Sprintf("%.4f", r.Stretch.Mean),
-	}, nil
 }
 
 func fatal(err error) {

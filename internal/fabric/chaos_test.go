@@ -1,0 +1,259 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// TestFabricChaosAcceptance is the acceptance test the tentpole demands: a
+// full grid driven through the deterministic chaos proxy — random chunk
+// drops and delays, a scripted asymmetric partition, and a worker killed
+// mid-cell at a seeded point — plus an orchestrated straggler, and the
+// output must still be byte-identical to the sequential golden. The run must
+// actually exercise the machinery: at least one lease reclaim/requeue, one
+// speculative duplicate, and one deduped completion, all visible in the
+// decision log (written to $FABRIC_DECISION_LOG when set, so CI can upload
+// it as an artifact).
+//
+// Three fault injections are deterministic by construction, not by timing:
+//   - cell killCell's first execution kills its worker mid-cell (abrupt
+//     close, no completion) → its lease is reclaimed after the disconnect
+//     grace and the cell requeued;
+//   - cell stragCell blocks every execution until the dispatcher holds two
+//     live leases on it (original + speculative duplicate) with both
+//     executors in flight — then both finish, so the second completion is
+//     deduped first-result-wins;
+//   - the chunk-level drop/delay faults come from the chaos proxy's seeded
+//     RNG streams.
+func TestFabricChaosAcceptance(t *testing.T) {
+	const (
+		n         = 48
+		stragCell = 7
+		killCell  = 12
+		numLoops  = 4
+	)
+	golden := make([][]byte, n)
+	for i := range golden {
+		golden[i] = []byte(fmt.Sprintf("cell-%d:%d", i, i*i))
+	}
+
+	col := &collector{t: t}
+	d, err := NewDispatcher(Config{
+		Cells:           n,
+		Spec:            []byte(`{"kind":"chaos"}`),
+		Consume:         col.consume,
+		LeaseTTL:        3 * time.Second,
+		DisconnectGrace: 500 * time.Millisecond,
+		HeartbeatEvery:  300 * time.Millisecond,
+		Window:          16,
+		SpecMinSamples:  5,
+		SpecPercentile:  0.5,
+		// Normal cells take ≥10ms (see mkFn), so the straggler threshold is
+		// ≥600ms — above the 500ms disconnect grace. That ordering makes the
+		// killed worker's lease deterministically reclaim-and-requeue before
+		// any speculative duplicate could rescue its cell, while the
+		// orchestrated straggler still crosses the threshold and speculates.
+		SpecMultiplier: 60,
+		IdleWaitMS:     25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := d.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	defer dumpDecisions(t, d)
+
+	// All worker traffic crosses the chaos proxy: seeded chunk drops (sever
+	// the connection mid-stream) and delays, plus a scripted asymmetric
+	// partition below.
+	proxy, err := chaos.Listen(addr, chaos.Config{
+		Seed:      42,
+		Name:      "fabric-chaos",
+		Drop:      0.01,
+		DelayProb: 0.10,
+		DelayMin:  time.Millisecond,
+		DelayMax:  5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	var (
+		stragInFlight atomic.Int64
+		stragRelease  = make(chan struct{})
+		releaseOnce   sync.Once
+		killExecs     atomic.Int64
+		killDone      = make(chan struct{})
+		killOnce      sync.Once
+		workers       sync.Map // id → *Worker, so Fn can kill its own worker
+	)
+
+	mkFn := func(id string) func(context.Context, int, func(float64)) ([]byte, error) {
+		return func(ctx context.Context, cell int, progress func(float64)) ([]byte, error) {
+			switch cell {
+			case killCell:
+				// First execution: die mid-cell, abruptly, without completing.
+				if killExecs.Add(1) == 1 {
+					if w, ok := workers.Load(id); ok {
+						w.(*Worker).Kill()
+					}
+					killOnce.Do(func() { close(killDone) })
+					<-ctx.Done()
+					return nil, ctx.Err()
+				}
+			case stragCell:
+				// Every execution stalls until the dispatcher has launched a
+				// speculative duplicate and both copies are in flight.
+				stragInFlight.Add(1)
+				defer stragInFlight.Add(-1)
+				progress(0.5)
+				select {
+				case <-stragRelease:
+				case <-ctx.Done(): // fenced or killed: result discarded anyway
+				}
+			default:
+				// Runtime floor keeping the straggler threshold above the
+				// disconnect grace (see SpecMultiplier above).
+				select {
+				case <-time.After(10 * time.Millisecond):
+				case <-ctx.Done():
+				}
+			}
+			return golden[cell], nil
+		}
+	}
+
+	startWorker := func(id string) *Worker {
+		w, err := NewWorker(WorkerConfig{
+			ID:             id,
+			Addr:           proxy.Addr(),
+			Fn:             mkFn(id),
+			RequestTimeout: 500 * time.Millisecond,
+			IdleWait:       50 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers.Store(id, w)
+		go w.Run(context.Background())
+		return w
+	}
+	for i := 0; i < numLoops; i++ {
+		startWorker(fmt.Sprintf("w%d", i))
+	}
+
+	// A replacement daemon joins after the seeded kill, as a real fleet
+	// manager would restart a crashed worker.
+	go func() {
+		<-killDone
+		startWorker("w-replacement")
+	}()
+
+	// Scripted asymmetric partition once the campaign is moving: workers'
+	// requests are black-holed while dispatcher responses still flow — the
+	// nastiest shape, silence without errors. Heal after 400ms; lease TTLs
+	// are longer, so the campaign resumes where it stalled.
+	go func() {
+		for len(col.snapshot()) < 4 {
+			time.Sleep(5 * time.Millisecond)
+		}
+		proxy.SetPartition(true, false)
+		time.Sleep(400 * time.Millisecond)
+		proxy.Heal()
+	}()
+
+	// Release the straggler only when speculation has demonstrably happened:
+	// two live leases on the cell and two executors blocked inside it.
+	go func() {
+		for {
+			d.mu.Lock()
+			twoLeases := len(d.cells[stragCell].leases) == 2
+			done := d.done
+			d.mu.Unlock()
+			if done {
+				return
+			}
+			if twoLeases && stragInFlight.Load() >= 2 {
+				releaseOnce.Do(func() { close(stragRelease) })
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if err := d.Wait(ctx); err != nil {
+		t.Fatalf("campaign failed: %v (counters=%+v)", err, d.Counters())
+	}
+
+	// Byte-identical reassembly: the distributed, chaos-ridden run equals
+	// the sequential golden, row for row, in strict index order.
+	rows := col.snapshot()
+	if len(rows) != n {
+		t.Fatalf("flushed %d rows, want %d", len(rows), n)
+	}
+	for i, r := range rows {
+		if !bytes.Equal(r, golden[i]) {
+			t.Fatalf("row %d = %q, want %q", i, r, golden[i])
+		}
+	}
+
+	// The fault machinery must have actually fired, not merely existed.
+	ctrs := d.Counters()
+	if ctrs.Requeues < 1 {
+		t.Errorf("no lease reclaim/requeue happened (counters=%+v)", ctrs)
+	}
+	if ctrs.SpeculativeGrants < 1 {
+		t.Errorf("no speculative duplicate was launched (counters=%+v)", ctrs)
+	}
+	if ctrs.Deduped < 1 {
+		t.Errorf("no completion was deduped (counters=%+v)", ctrs)
+	}
+	// Exactly-once delivery regardless of at-least-once execution.
+	if ctrs.Flushed != n {
+		t.Errorf("flushed %d, want %d", ctrs.Flushed, n)
+	}
+	// The campaign cannot finish without killCell completing, which takes a
+	// second execution after the seeded kill.
+	if got := killExecs.Load(); got < 2 {
+		t.Errorf("killCell executed %d times, want ≥2 (kill + re-run)", got)
+	}
+
+	// The decision log narrates each event kind at least once.
+	log := strings.Join(d.Decisions(), "\n")
+	for _, needle := range []string{"reclaim cell=", "requeue cell=", "speculate cell=", "dedupe cell=", "campaign-done"} {
+		if !strings.Contains(log, needle) {
+			t.Errorf("decision log missing %q", needle)
+		}
+	}
+}
+
+// dumpDecisions writes the decision log to $FABRIC_DECISION_LOG (CI uploads
+// it as an artifact on failure) and echoes it on test failure.
+func dumpDecisions(t *testing.T, d *Dispatcher) {
+	decisions := d.Decisions()
+	if path := os.Getenv("FABRIC_DECISION_LOG"); path != "" {
+		os.WriteFile(path, []byte(strings.Join(decisions, "\n")+"\n"), 0o644)
+	}
+	if t.Failed() {
+		tail := decisions
+		if len(tail) > 100 {
+			tail = tail[len(tail)-100:]
+		}
+		t.Logf("decision log tail:\n%s", strings.Join(tail, "\n"))
+	}
+}

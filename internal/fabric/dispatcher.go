@@ -1,0 +1,710 @@
+package fabric
+
+import (
+	"bufio"
+	"container/heap"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/parallel"
+)
+
+// Config shapes one dispatcher campaign. Cells and Consume are required;
+// every other field has a production default, which tests shrink to make
+// expiry and speculation cheap to provoke.
+type Config struct {
+	// Cells is the grid size; indices 0..Cells-1 are the campaign.
+	Cells int
+	// Spec is an opaque campaign description handed to every worker at
+	// hello (cmd/sweep puts the JSON grid spec here; workers rebuild any
+	// cell from it, because cells are pure functions of their index).
+	Spec []byte
+	// Consume receives each cell's accepted result in strict index order —
+	// exactly once per cell, never out of order. A Consume error aborts the
+	// campaign.
+	Consume func(i int, result []byte) error
+
+	// LeaseTTL is how long a lease lives without a heartbeat (default 15s);
+	// each heartbeat renews it. DisconnectGrace replaces the remaining TTL
+	// when the lease holder's connection drops (default LeaseTTL/4): a
+	// reconnecting worker's next heartbeat restores the full TTL, a dead
+	// worker's lease expires after only the grace.
+	LeaseTTL        time.Duration
+	DisconnectGrace time.Duration
+	// HeartbeatEvery is the cadence advertised to workers (default
+	// LeaseTTL/3, so two missed beats still keep a lease alive).
+	HeartbeatEvery time.Duration
+
+	// Window bounds out-of-order completion: a fresh cell is granted only
+	// while its index is below flushed-prefix + Window, so reassembly memory
+	// and the cost of losing a straggler both stay bounded (default 1024).
+	Window int
+
+	// Speculation policy: once SpecMinSamples cell runtimes have been
+	// observed (default 5), a cell whose oldest lease is older than
+	// SpecMultiplier (default 2) × the SpecPercentile (default 0.95)
+	// runtime is a straggler, and an idle worker with nothing fresh to
+	// lease gets a speculative duplicate of it. At most two concurrent
+	// leases per cell.
+	SpecPercentile float64
+	SpecMultiplier float64
+	SpecMinSamples int
+
+	// IdleWaitMS is the poll-again hint sent when nothing is leasable
+	// (default 100).
+	IdleWaitMS int64
+
+	// Logf, when set, receives every lease decision (grant, requeue,
+	// speculation, dedup, stale, fence, flush milestones) in addition to the
+	// in-memory decision log.
+	Logf func(format string, args ...any)
+
+	// ReadTimeout and WriteTimeout bound one protocol exchange (defaults:
+	// 5m idle read, 30s write), mirroring the slurm server's hardening.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+}
+
+// leaseRec is one active lease on a cell.
+type leaseRec struct {
+	worker      string
+	conn        int64 // connection the lease was granted or last renewed on
+	epoch       int64
+	speculative bool
+	graced      bool // deadline was shortened by a disconnect
+	deadline    time.Time
+	started     time.Time
+}
+
+// cellRec is one cell's lease-machine state. epoch is the high-water lease
+// epoch and is strictly monotone: every grant bumps it, so any message
+// carrying an older epoch is recognisably stale.
+type cellRec struct {
+	state  cellState
+	epoch  int64
+	leases []leaseRec
+}
+
+// ErrClosed is returned by Wait when the dispatcher is closed before the
+// campaign completes.
+var ErrClosed = errors.New("fabric: dispatcher closed")
+
+// Dispatcher owns a campaign: the lease table, the reassembly window, and
+// the listener workers connect to.
+type Dispatcher struct {
+	cfg Config
+	now func() time.Time // injectable for deterministic lease tests
+
+	mu        sync.Mutex
+	cells     []cellRec
+	pending   intHeap // min-heap of grantable indices (lazy deletion)
+	samples   []float64
+	buffer    map[int][]byte // done but not yet flushed (bounded by Window)
+	nextFlush int
+	failedAt  int // lowest FAILED index, -1 while none
+	failedErr error
+	done      bool
+	finalErr  error
+	doneCh    chan struct{}
+	counters  Counters
+	decisions []string
+
+	ln      net.Listener
+	conns   map[net.Conn]int64
+	connSeq int64
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// NewDispatcher validates cfg and builds the campaign with every cell
+// PENDING.
+func NewDispatcher(cfg Config) (*Dispatcher, error) {
+	if cfg.Cells <= 0 {
+		return nil, fmt.Errorf("fabric: Cells must be ≥ 1, got %d", cfg.Cells)
+	}
+	if cfg.Consume == nil {
+		return nil, errors.New("fabric: Consume is required")
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 15 * time.Second
+	}
+	if cfg.DisconnectGrace <= 0 {
+		cfg.DisconnectGrace = cfg.LeaseTTL / 4
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = cfg.LeaseTTL / 3
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 1024
+	}
+	if cfg.SpecPercentile <= 0 || cfg.SpecPercentile > 1 {
+		cfg.SpecPercentile = 0.95
+	}
+	if cfg.SpecMultiplier <= 0 {
+		cfg.SpecMultiplier = 2
+	}
+	if cfg.SpecMinSamples <= 0 {
+		cfg.SpecMinSamples = 5
+	}
+	if cfg.IdleWaitMS <= 0 {
+		cfg.IdleWaitMS = 100
+	}
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = 5 * time.Minute
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 30 * time.Second
+	}
+	d := &Dispatcher{
+		cfg:      cfg,
+		now:      time.Now,
+		cells:    make([]cellRec, cfg.Cells),
+		buffer:   make(map[int][]byte),
+		failedAt: -1,
+		doneCh:   make(chan struct{}),
+		conns:    make(map[net.Conn]int64),
+	}
+	d.pending = make(intHeap, cfg.Cells)
+	for i := range d.pending {
+		d.pending[i] = i
+	}
+	return d, nil
+}
+
+// Listen starts accepting workers on addr ("host:port"; ":0" picks a free
+// port) and returns the bound address.
+func (d *Dispatcher) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("fabric: listen: %w", err)
+	}
+	d.mu.Lock()
+	d.ln = ln
+	d.mu.Unlock()
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		d.acceptLoop(ln)
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Wait blocks until the campaign completes (all cells flushed, or the
+// prefix reached a failed cell), the dispatcher is closed, or ctx is done.
+// On a cell failure the error is a *parallel.CellError for the lowest
+// failing index, after the complete prefix below it was consumed — the same
+// contract as parallel.RunOrdered, extended across the network.
+func (d *Dispatcher) Wait(ctx context.Context) error {
+	select {
+	case <-d.doneCh:
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return d.finalErr
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close stops the listener and severs every worker connection. Safe to call
+// more than once.
+func (d *Dispatcher) Close() {
+	d.mu.Lock()
+	if !d.closed {
+		d.closed = true
+		if d.ln != nil {
+			d.ln.Close()
+		}
+		for c := range d.conns {
+			c.Close()
+		}
+		if !d.done {
+			d.done = true
+			d.finalErr = ErrClosed
+			close(d.doneCh)
+		}
+	}
+	d.mu.Unlock()
+	d.wg.Wait()
+}
+
+// Counters returns a consistent snapshot of the decision tallies.
+func (d *Dispatcher) Counters() Counters {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.counters
+}
+
+// Decisions returns a copy of the in-memory decision log.
+func (d *Dispatcher) Decisions() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, len(d.decisions))
+	copy(out, d.decisions)
+	return out
+}
+
+// maxDecisions bounds the in-memory decision log; beyond it the oldest half
+// is dropped (the expvar counters stay exact).
+const maxDecisions = 1 << 16
+
+// logLocked records one decision. Callers hold d.mu.
+func (d *Dispatcher) logLocked(format string, args ...any) {
+	line := fmt.Sprintf(format, args...)
+	if len(d.decisions) >= maxDecisions {
+		d.decisions = append(d.decisions[:0], d.decisions[maxDecisions/2:]...)
+	}
+	d.decisions = append(d.decisions, line)
+	if d.cfg.Logf != nil {
+		d.cfg.Logf("%s", line)
+	}
+}
+
+// ---- network plumbing ----
+
+func (d *Dispatcher) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		d.mu.Lock()
+		if d.closed {
+			d.mu.Unlock()
+			conn.Close()
+			return
+		}
+		d.connSeq++
+		id := d.connSeq
+		d.conns[conn] = id
+		d.mu.Unlock()
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			d.serveConn(conn, id)
+		}()
+	}
+}
+
+func (d *Dispatcher) serveConn(conn net.Conn, id int64) {
+	defer func() {
+		d.dropConn(id)
+		d.mu.Lock()
+		delete(d.conns, conn)
+		d.mu.Unlock()
+		conn.Close()
+	}()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLine)
+	enc := json.NewEncoder(conn)
+	for {
+		conn.SetReadDeadline(time.Now().Add(d.cfg.ReadTimeout))
+		if !sc.Scan() {
+			return
+		}
+		var req request
+		var resp response
+		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			resp = response{Error: fmt.Sprintf("bad request: %v", err)}
+		} else {
+			resp = d.handle(req, id)
+		}
+		conn.SetWriteDeadline(time.Now().Add(d.cfg.WriteTimeout))
+		if enc.Encode(resp) != nil {
+			return
+		}
+	}
+}
+
+func (d *Dispatcher) handle(req request, connID int64) response {
+	switch req.Op {
+	case "hello":
+		return d.hello()
+	case "lease":
+		return d.grant(req.Worker, connID)
+	case "heartbeat":
+		return d.heartbeat(req.Worker, req.Cell, req.Epoch, connID)
+	case "complete":
+		return d.complete(req.Worker, req.Cell, req.Epoch, req.Result, req.Err)
+	case "goodbye":
+		return d.goodbye(req.Worker, connID)
+	case "health":
+		return d.healthResp()
+	default:
+		return response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+func (d *Dispatcher) hello() response {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return response{
+		OK:          true,
+		Cells:       len(d.cells),
+		Spec:        json.RawMessage(d.cfg.Spec),
+		LeaseMS:     durMS(d.cfg.LeaseTTL),
+		HeartbeatMS: durMS(d.cfg.HeartbeatEvery),
+		Done:        d.done,
+	}
+}
+
+func (d *Dispatcher) healthResp() response {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return response{OK: true, Cells: len(d.cells), Done: d.done}
+}
+
+// ---- lease state machine ----
+// Every mutation runs under d.mu; the injectable clock plus these methods
+// being callable without a listener is what makes the seeded property test
+// (lease_prop_test.go) a pure function of its RNG.
+
+// grant hands out the next lease to worker: the lowest PENDING cell inside
+// the reassembly window, else a speculative duplicate of the lowest eligible
+// straggler, else a poll-again hint. Expired leases are swept first, so idle
+// workers polling for work is also what drives reclamation forward.
+func (d *Dispatcher) grant(worker string, connID int64) response {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.sweepExpiredLocked()
+	if d.done {
+		return response{OK: true, Done: true}
+	}
+	// Fresh cell: lowest pending index, gated by the window and — after a
+	// recorded failure — by the doomed-suffix cap (cells above the lowest
+	// failed index can never be delivered; stop burning workers on them).
+	for len(d.pending) > 0 {
+		idx := d.pending[0]
+		if d.failedAt >= 0 && idx > d.failedAt {
+			heap.Pop(&d.pending)
+			continue
+		}
+		if idx >= d.nextFlush+d.cfg.Window {
+			break // window full: completing the prefix is the only way forward
+		}
+		heap.Pop(&d.pending)
+		if d.cells[idx].state != statePending {
+			continue // lazily deleted (was re-leased or completed meanwhile)
+		}
+		return d.grantCellLocked(idx, worker, connID, false)
+	}
+	// Speculation: duplicate the lowest straggler not already duplicated and
+	// not held by this same worker.
+	if idx, ok := d.speculationTargetLocked(worker); ok {
+		return d.grantCellLocked(idx, worker, connID, true)
+	}
+	return response{OK: true, WaitMS: d.cfg.IdleWaitMS}
+}
+
+// grantCellLocked issues a lease on idx, bumping the cell's monotone epoch.
+func (d *Dispatcher) grantCellLocked(idx int, worker string, connID int64, speculative bool) response {
+	now := d.now()
+	c := &d.cells[idx]
+	c.state = stateLeased
+	c.epoch++
+	c.leases = append(c.leases, leaseRec{
+		worker:      worker,
+		conn:        connID,
+		epoch:       c.epoch,
+		speculative: speculative,
+		deadline:    now.Add(d.cfg.LeaseTTL),
+		started:     now,
+	})
+	d.counters.Granted++
+	fabricVars().Add("granted", 1)
+	kind := "grant"
+	if speculative {
+		kind = "speculate"
+		d.counters.SpeculativeGrants++
+		fabricVars().Add("speculative_grants", 1)
+	}
+	d.logLocked("%s cell=%d epoch=%d worker=%s", kind, idx, c.epoch, worker)
+	return response{OK: true, Granted: true, Cell: idx, Epoch: c.epoch, Speculative: speculative}
+}
+
+// speculationTargetLocked picks the lowest single-leased cell whose oldest
+// lease has outlived the straggler threshold.
+func (d *Dispatcher) speculationTargetLocked(worker string) (int, bool) {
+	if len(d.samples) < d.cfg.SpecMinSamples {
+		return 0, false
+	}
+	threshold := d.cfg.SpecMultiplier * d.percentileLocked(d.cfg.SpecPercentile)
+	now := d.now()
+	hi := d.nextFlush + d.cfg.Window
+	if hi > len(d.cells) {
+		hi = len(d.cells)
+	}
+	for idx := d.nextFlush; idx < hi; idx++ {
+		if d.failedAt >= 0 && idx > d.failedAt {
+			break
+		}
+		c := &d.cells[idx]
+		if c.state != stateLeased || len(c.leases) != 1 {
+			continue
+		}
+		l := c.leases[0]
+		if l.worker == worker {
+			continue
+		}
+		if now.Sub(l.started).Seconds() > threshold {
+			return idx, true
+		}
+	}
+	return 0, false
+}
+
+// percentileLocked is the p-th percentile of observed cell runtimes in
+// seconds.
+func (d *Dispatcher) percentileLocked(p float64) float64 {
+	sorted := append([]float64(nil), d.samples...)
+	sort.Float64s(sorted)
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// sweepExpiredLocked reclaims every lease past its deadline inside the
+// active window and requeues cells left with no lease. Driven from grant
+// (idle workers polling) — there is no background timer to race with tests.
+func (d *Dispatcher) sweepExpiredLocked() {
+	now := d.now()
+	hi := d.nextFlush + d.cfg.Window
+	if hi > len(d.cells) {
+		hi = len(d.cells)
+	}
+	for idx := d.nextFlush; idx < hi; idx++ {
+		c := &d.cells[idx]
+		if c.state != stateLeased {
+			continue
+		}
+		kept := c.leases[:0]
+		for _, l := range c.leases {
+			if l.deadline.After(now) {
+				kept = append(kept, l)
+				continue
+			}
+			cause := "expiry"
+			if l.graced {
+				cause = "disconnect"
+				d.counters.RequeueDisconnect++
+				fabricVars().Add("requeue_disconnect", 1)
+			} else {
+				d.counters.RequeueExpiry++
+				fabricVars().Add("requeue_expiry", 1)
+			}
+			d.logLocked("reclaim cell=%d epoch=%d worker=%s cause=%s", idx, l.epoch, l.worker, cause)
+		}
+		c.leases = kept
+		if len(c.leases) == 0 {
+			c.state = statePending
+			heap.Push(&d.pending, idx)
+			d.counters.Requeues++
+			fabricVars().Add("requeues", 1)
+			d.logLocked("requeue cell=%d next_epoch=%d", idx, c.epoch+1)
+		}
+	}
+}
+
+// heartbeat renews a live lease (and rebinds it to the worker's current
+// connection, so a reconnect clears the disconnect grace). A heartbeat for a
+// lease that no longer exists on a still-undone cell answers "fenced": the
+// worker must abandon the cell. A heartbeat for a finished cell is harmless —
+// the worker may run to completion and its result will dedupe, which is
+// exactly the at-least-once → exactly-once story.
+func (d *Dispatcher) heartbeat(worker string, cell int, epoch, connID int64) response {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if cell < 0 || cell >= len(d.cells) {
+		return response{Error: fmt.Sprintf("cell %d out of range", cell)}
+	}
+	c := &d.cells[cell]
+	if c.state == stateDone || c.state == stateFailed {
+		return response{OK: true, Done: d.done}
+	}
+	for i := range c.leases {
+		l := &c.leases[i]
+		if l.epoch == epoch && l.worker == worker {
+			l.deadline = d.now().Add(d.cfg.LeaseTTL)
+			l.conn = connID
+			l.graced = false
+			return response{OK: true}
+		}
+	}
+	d.counters.Fenced++
+	fabricVars().Add("fenced", 1)
+	d.logLocked("fence cell=%d epoch=%d worker=%s", cell, epoch, worker)
+	return response{OK: true, Fenced: true}
+}
+
+// complete records one cell result. First-result-wins: the first completion
+// holding a live lease is accepted and flushed; completions for done cells
+// dedupe; completions whose lease was reclaimed or superseded are stale and
+// discarded (the cell's surviving lease, or the requeue queue, owns it).
+func (d *Dispatcher) complete(worker string, cell int, epoch int64, result []byte, errStr string) response {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if cell < 0 || cell >= len(d.cells) {
+		return response{Error: fmt.Sprintf("cell %d out of range", cell)}
+	}
+	c := &d.cells[cell]
+	switch {
+	case c.state == stateDone || c.state == stateFailed:
+		d.counters.Deduped++
+		fabricVars().Add("deduped", 1)
+		d.logLocked("dedupe cell=%d epoch=%d worker=%s", cell, epoch, worker)
+		return response{OK: true, Duplicate: true, Done: d.done}
+	case d.leaseIndexLocked(c, worker, epoch) >= 0:
+		li := d.leaseIndexLocked(c, worker, epoch)
+		l := c.leases[li]
+		if errStr != "" {
+			c.state = stateFailed
+			c.leases = nil
+			d.counters.Failed++
+			fabricVars().Add("failed", 1)
+			if d.failedAt < 0 || cell < d.failedAt {
+				d.failedAt = cell
+				d.failedErr = errors.New(errStr)
+			}
+			d.logLocked("fail cell=%d epoch=%d worker=%s err=%q", cell, epoch, worker, errStr)
+			d.checkDoneLocked()
+			return response{OK: true, Done: d.done}
+		}
+		d.samples = append(d.samples, d.now().Sub(l.started).Seconds())
+		c.state = stateDone
+		c.leases = nil
+		d.counters.Completed++
+		fabricVars().Add("completed", 1)
+		if l.speculative {
+			d.counters.SpeculativeWins++
+			fabricVars().Add("speculative_wins", 1)
+			d.logLocked("speculative-win cell=%d epoch=%d worker=%s", cell, epoch, worker)
+		}
+		d.logLocked("complete cell=%d epoch=%d worker=%s", cell, epoch, worker)
+		d.buffer[cell] = result
+		d.flushLocked()
+		d.checkDoneLocked()
+		return response{OK: true, Done: d.done}
+	default:
+		d.counters.Stale++
+		fabricVars().Add("stale", 1)
+		d.logLocked("stale cell=%d epoch=%d worker=%s current_epoch=%d", cell, epoch, worker, c.epoch)
+		return response{OK: true, Stale: true}
+	}
+}
+
+func (d *Dispatcher) leaseIndexLocked(c *cellRec, worker string, epoch int64) int {
+	for i, l := range c.leases {
+		if l.epoch == epoch && l.worker == worker {
+			return i
+		}
+	}
+	return -1
+}
+
+// goodbye is a clean disconnect (drain): the worker holds no lease it
+// intends to finish, so anything still bound to its connection is requeued
+// immediately rather than after the grace.
+func (d *Dispatcher) goodbye(worker string, connID int64) response {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.releaseConnLocked(connID, 0)
+	d.logLocked("goodbye worker=%s", worker)
+	return response{OK: true, Done: d.done}
+}
+
+// dropConn handles an abrupt connection loss: shorten every lease bound to
+// the connection to the disconnect grace. A live worker that reconnects
+// restores its deadlines with the next heartbeat; a dead one expires fast.
+func (d *Dispatcher) dropConn(connID int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.releaseConnLocked(connID, d.cfg.DisconnectGrace)
+}
+
+// releaseConnLocked shortens (grace > 0) or expires (grace == 0) every lease
+// bound to connID; expired cells requeue on the next sweep.
+func (d *Dispatcher) releaseConnLocked(connID int64, grace time.Duration) {
+	deadline := d.now().Add(grace)
+	for idx := range d.cells {
+		c := &d.cells[idx]
+		if c.state != stateLeased {
+			continue
+		}
+		for i := range c.leases {
+			l := &c.leases[i]
+			if l.conn != connID || l.graced {
+				continue
+			}
+			if l.deadline.After(deadline) {
+				l.deadline = deadline
+			}
+			l.graced = true
+			d.logLocked("disconnect cell=%d epoch=%d worker=%s grace=%s", idx, l.epoch, l.worker, grace)
+		}
+	}
+	d.sweepExpiredLocked()
+}
+
+// flushLocked delivers the completed prefix in strict index order.
+func (d *Dispatcher) flushLocked() {
+	for {
+		res, ok := d.buffer[d.nextFlush]
+		if !ok {
+			return
+		}
+		delete(d.buffer, d.nextFlush)
+		if err := d.cfg.Consume(d.nextFlush, res); err != nil {
+			d.logLocked("consume-error cell=%d err=%v", d.nextFlush, err)
+			d.finishLocked(err)
+			return
+		}
+		d.counters.Flushed++
+		fabricVars().Add("flushed", 1)
+		d.nextFlush++
+	}
+}
+
+// checkDoneLocked ends the campaign when the flush prefix covers the grid,
+// or reaches the lowest failed cell (everything below it was delivered; the
+// suffix can never be).
+func (d *Dispatcher) checkDoneLocked() {
+	if d.done {
+		return
+	}
+	if d.failedAt >= 0 && d.nextFlush >= d.failedAt {
+		d.finishLocked(&parallel.CellError{Index: d.failedAt, Err: d.failedErr})
+		return
+	}
+	if d.nextFlush >= len(d.cells) {
+		d.finishLocked(nil)
+	}
+}
+
+func (d *Dispatcher) finishLocked(err error) {
+	if d.done {
+		return
+	}
+	d.done = true
+	d.finalErr = err
+	d.logLocked("campaign-done flushed=%d err=%v", d.nextFlush, err)
+	close(d.doneCh)
+}
+
+// intHeap is a plain min-heap of cell indices.
+type intHeap []int
+
+func (h intHeap) Len() int           { return len(h) }
+func (h intHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x any)        { *h = append(*h, x.(int)) }
+func (h *intHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

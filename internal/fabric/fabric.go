@@ -1,0 +1,164 @@
+// Package fabric is the distributed sweep fabric: a queue-backed dispatcher
+// that hands grid cells to simd worker daemons over the repo's JSON-line
+// protocol, engineered for failure first. The fan-out is the easy part — the
+// point of this package is surviving worker crashes, hangs, partitions, and
+// duplicate completions without perturbing a single output byte.
+//
+// The dispatcher tracks each cell through a lease state machine
+// (PENDING → LEASED(worker, epoch, deadline) → DONE):
+//
+//   - Leases carry a per-cell monotone epoch; every grant — fresh, requeue,
+//     or speculative duplicate — bumps it, so a stale completion or heartbeat
+//     is recognisable forever.
+//   - A lease whose deadline passes without a heartbeat is reclaimed and its
+//     cell requeued; a worker disconnect shortens its leases' deadlines to a
+//     small grace (a reconnecting worker's next heartbeat restores them, a
+//     dead worker's leases expire fast).
+//   - Stragglers past a configurable percentile of observed cell runtimes
+//     get a speculative duplicate lease; completions dedupe first-result-wins,
+//     so at-least-once execution still yields exactly-once output.
+//   - Results flow through a bounded out-of-order window that flushes the
+//     completed prefix in strict index order — a dispatcher run is
+//     byte-identical to a sequential run of the same pure cells.
+//
+// Workers heartbeat with progress, back off with jitter on reconnect
+// (reusing the slurm client's RetryPolicy), and self-fence on lease loss:
+// a heartbeat answered "fenced" makes the worker abandon the cell without
+// completing it. Every requeue, speculation, and dedup decision is logged
+// and counted in expvars (the "fabric" map).
+package fabric
+
+import (
+	"encoding/json"
+	"expvar"
+	"sync"
+	"time"
+)
+
+// The wire protocol is JSON lines over TCP, same idiom as internal/slurm:
+// one request per line from the worker, one response per line back.
+
+// request is one worker→dispatcher message.
+type request struct {
+	// Op selects the operation: hello, lease, heartbeat, complete, goodbye,
+	// health.
+	Op string `json:"op"`
+	// Worker identifies the daemon (stable across reconnects).
+	Worker string `json:"worker,omitempty"`
+	// Cell and Epoch name the lease a heartbeat or completion refers to.
+	Cell  int   `json:"cell"`
+	Epoch int64 `json:"epoch,omitempty"`
+	// Progress is the worker's in-cell progress estimate (0..1), carried on
+	// heartbeats for observability.
+	Progress float64 `json:"progress,omitempty"`
+	// Result is the completed cell's opaque payload (base64 on the wire).
+	Result []byte `json:"result,omitempty"`
+	// Err reports a cell that failed deterministically (the cell function
+	// returned an error — not a transport problem, which is never reported).
+	Err string `json:"err,omitempty"`
+}
+
+// response is one dispatcher→worker message.
+type response struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// hello payload: the campaign shape and the cadence the worker should
+	// heartbeat at.
+	Cells       int             `json:"cells,omitempty"`
+	Spec        json.RawMessage `json:"spec,omitempty"`
+	LeaseMS     int64           `json:"lease_ms,omitempty"`
+	HeartbeatMS int64           `json:"heartbeat_ms,omitempty"`
+	// lease payload. Granted=false with WaitMS set means "nothing leasable
+	// right now, poll again"; Done means the campaign is over and the worker
+	// may exit.
+	Granted     bool  `json:"granted,omitempty"`
+	Cell        int   `json:"cell"`
+	Epoch       int64 `json:"epoch,omitempty"`
+	Speculative bool  `json:"speculative,omitempty"`
+	WaitMS      int64 `json:"wait_ms,omitempty"`
+	Done        bool  `json:"done,omitempty"`
+	// heartbeat/complete verdicts. Fenced tells the worker its lease is gone:
+	// stop working on the cell and take a new lease. Duplicate and Stale mark
+	// completions that were discarded (cell already done / lease superseded).
+	Fenced    bool `json:"fenced,omitempty"`
+	Duplicate bool `json:"duplicate,omitempty"`
+	Stale     bool `json:"stale,omitempty"`
+}
+
+// maxLine bounds one protocol line (a completed cell's payload rides in it).
+const maxLine = 1 << 20
+
+// cellState is one cell's position in the lease state machine.
+type cellState uint8
+
+const (
+	// statePending: queued, no active lease.
+	statePending cellState = iota
+	// stateLeased: at least one active lease (two, once a speculative
+	// duplicate is launched).
+	stateLeased
+	// stateDone: a completion was accepted; terminal. Further completions
+	// dedupe.
+	stateDone
+	// stateFailed: the cell function itself failed; terminal. The campaign
+	// ends once the flush prefix reaches the lowest failed index.
+	stateFailed
+)
+
+func (s cellState) String() string {
+	switch s {
+	case statePending:
+		return "PENDING"
+	case stateLeased:
+		return "LEASED"
+	case stateDone:
+		return "DONE"
+	case stateFailed:
+		return "FAILED"
+	}
+	return "?"
+}
+
+// Counters tallies every fault-handling decision the dispatcher makes. All
+// fields are cumulative; read a consistent copy via Dispatcher.Counters.
+type Counters struct {
+	// Granted counts every lease grant; SpeculativeGrants the subset that
+	// duplicated a straggler's cell.
+	Granted           int64 `json:"granted"`
+	SpeculativeGrants int64 `json:"speculative_grants"`
+	// Requeues counts cells returned to PENDING, split by cause: a lease
+	// deadline passing (expiry) vs. a disconnect-shortened deadline passing
+	// (disconnect) vs. a clean goodbye with the lease still held.
+	Requeues          int64 `json:"requeues"`
+	RequeueExpiry     int64 `json:"requeue_expiry"`
+	RequeueDisconnect int64 `json:"requeue_disconnect"`
+	// Completed counts accepted (first) completions; SpeculativeWins the
+	// subset won by a speculative duplicate rather than the original lease.
+	Completed       int64 `json:"completed"`
+	SpeculativeWins int64 `json:"speculative_wins"`
+	// Deduped counts completions for already-done cells (first-result-wins);
+	// Stale counts completions whose lease had been reclaimed or superseded.
+	Deduped int64 `json:"deduped"`
+	Stale   int64 `json:"stale"`
+	// Fenced counts heartbeats answered "your lease is gone".
+	Fenced int64 `json:"fenced"`
+	// Failed counts terminal cell-function failures; Flushed counts results
+	// delivered to the consumer in strict index order.
+	Failed  int64 `json:"failed"`
+	Flushed int64 `json:"flushed"`
+}
+
+// fabricVars is the process-wide expvar map ("fabric"); every dispatcher in
+// the process adds its decisions to it, mirroring its Counters.
+var (
+	expOnce sync.Once
+	expMap  *expvar.Map
+)
+
+func fabricVars() *expvar.Map {
+	expOnce.Do(func() { expMap = expvar.NewMap("fabric") })
+	return expMap
+}
+
+// durMS renders a duration as the whole milliseconds the wire carries.
+func durMS(d time.Duration) int64 { return int64(d / time.Millisecond) }

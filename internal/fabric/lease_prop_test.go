@@ -1,0 +1,188 @@
+package fabric
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/des"
+)
+
+// TestLeasePropertyInterleavings is the satellite property test for lease
+// expiry vs. late completion races: for many seeds it interleaves grants,
+// heartbeats, expiries (clock advances), duplicate and stale completions,
+// disconnects, and worker rejoins in seeded random orders, then drives the
+// campaign to completion and asserts the two invariants the fabric's
+// correctness rests on:
+//
+//  1. exactly-once output — every cell is consumed exactly once, in strict
+//     index order, no matter which duplicate won;
+//  2. monotone lease epochs — a cell's high-water epoch never decreases, so
+//     stale messages stay recognisable forever.
+//
+// Failures print the seed for replay.
+func TestLeasePropertyInterleavings(t *testing.T) {
+	seeds := 150
+	steps := 400
+	if testing.Short() {
+		seeds = 25
+	}
+	for seed := 1; seed <= seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runLeaseInterleaving(t, uint64(seed), steps)
+		})
+	}
+}
+
+// heldLease is one lease the property driver knows about — possibly long
+// since reclaimed by the dispatcher (that is the point: we replay old
+// leases' heartbeats and completions to model lag and rejoin).
+type heldLease struct {
+	worker string
+	conn   int64
+	cell   int
+	epoch  int64
+}
+
+func runLeaseInterleaving(t *testing.T, seed uint64, steps int) {
+	const cells = 12
+	const workers = 4
+
+	var mu sync.Mutex
+	consumed := make(map[int]int)
+	nextIdx := 0
+	col := func(i int, res []byte) error {
+		mu.Lock()
+		defer mu.Unlock()
+		consumed[i]++
+		if i != nextIdx {
+			t.Errorf("seed %d: consume index %d, want %d", seed, i, nextIdx)
+		}
+		nextIdx++
+		if want := fmt.Sprintf("v%d", i); string(res) != want {
+			t.Errorf("seed %d: cell %d payload %q, want %q", seed, i, res, want)
+		}
+		return nil
+	}
+
+	d, err := NewDispatcher(Config{
+		Cells:           cells,
+		Consume:         col,
+		LeaseTTL:        10 * time.Second,
+		DisconnectGrace: 2 * time.Second,
+		Window:          5,
+		SpecMinSamples:  2,
+		SpecPercentile:  0.5,
+		SpecMultiplier:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := newFakeClock()
+	d.now = clk.now
+
+	rng := des.NewRNG(seed).Stream("fabric/lease-prop")
+	var held []heldLease // every lease ever granted, stale ones included
+	highWater := make([]int64, cells)
+
+	checkMonotone := func() {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		for i := range d.cells {
+			if d.cells[i].epoch < highWater[i] {
+				t.Fatalf("seed %d: cell %d epoch regressed %d → %d", seed, i, highWater[i], d.cells[i].epoch)
+			}
+			highWater[i] = d.cells[i].epoch
+			if len(d.cells[i].leases) > 2 {
+				t.Fatalf("seed %d: cell %d carries %d concurrent leases", seed, i, len(d.cells[i].leases))
+			}
+			if (d.cells[i].state == stateDone || d.cells[i].state == stateFailed) && len(d.cells[i].leases) != 0 {
+				t.Fatalf("seed %d: terminal cell %d still holds leases", seed, i)
+			}
+		}
+	}
+
+	workerName := func(k int) string { return fmt.Sprintf("w%d", k) }
+
+	for step := 0; step < steps; step++ {
+		switch rng.Intn(6) {
+		case 0: // a worker asks for work (drives sweeps + speculation too)
+			k := rng.Intn(workers)
+			resp := d.grant(workerName(k), int64(k))
+			if resp.Granted {
+				held = append(held, heldLease{workerName(k), int64(k), resp.Cell, resp.Epoch})
+			}
+		case 1: // time passes — possibly past lease TTLs
+			clk.advance(time.Duration(rng.Intn(8000)) * time.Millisecond)
+		case 2: // a random held lease (live or long-dead) completes
+			if len(held) == 0 {
+				continue
+			}
+			l := held[rng.Intn(len(held))]
+			d.complete(l.worker, l.cell, l.epoch, []byte(fmt.Sprintf("v%d", l.cell)), "")
+		case 3: // a random held lease heartbeats (rejoin on a fresh conn)
+			if len(held) == 0 {
+				continue
+			}
+			l := held[rng.Intn(len(held))]
+			conn := l.conn
+			if rng.Intn(2) == 0 {
+				conn = int64(100 + rng.Intn(100)) // reconnected elsewhere
+			}
+			d.heartbeat(l.worker, l.cell, l.epoch, conn)
+		case 4: // a connection drops abruptly
+			d.dropConn(int64(rng.Intn(workers)))
+		case 5: // duplicate completion of an already-completed lease
+			if len(held) == 0 {
+				continue
+			}
+			l := held[rng.Intn(len(held))]
+			d.complete(l.worker, l.cell, l.epoch, []byte(fmt.Sprintf("v%d", l.cell)), "")
+		}
+		checkMonotone()
+	}
+
+	// Drive the campaign to completion honestly: grant and complete until
+	// every cell flushed (advancing the clock past stuck leases).
+	for i := 0; i < 10_000; i++ {
+		d.mu.Lock()
+		doneNow := d.done
+		d.mu.Unlock()
+		if doneNow {
+			break
+		}
+		resp := d.grant("finisher", 999)
+		if resp.Granted {
+			held = append(held, heldLease{"finisher", 999, resp.Cell, resp.Epoch})
+			d.complete("finisher", resp.Cell, resp.Epoch, []byte(fmt.Sprintf("v%d", resp.Cell)), "")
+		} else if !resp.Done {
+			clk.advance(11 * time.Second) // expire whatever is stuck
+		}
+		checkMonotone()
+	}
+
+	// Replay every lease's completion once more: all must dedupe or go
+	// stale, none may re-consume.
+	for _, l := range held {
+		resp := d.complete(l.worker, l.cell, l.epoch, []byte(fmt.Sprintf("v%d", l.cell)), "")
+		if !resp.Duplicate && !resp.Stale {
+			t.Fatalf("seed %d: post-campaign completion of cell %d epoch %d accepted", seed, l.cell, l.epoch)
+		}
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < cells; i++ {
+		if consumed[i] != 1 {
+			t.Fatalf("seed %d: cell %d consumed %d times, want exactly once", seed, i, consumed[i])
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := d.Wait(ctx); err != nil {
+		t.Fatalf("seed %d: Wait: %v", seed, err)
+	}
+}

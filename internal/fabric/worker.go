@@ -1,0 +1,517 @@
+package fabric
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/slurm"
+)
+
+// WorkerConfig shapes one worker loop (a simd daemon runs one per parallel
+// slot, all sharing the daemon's ID prefix).
+type WorkerConfig struct {
+	// ID names the worker to the dispatcher; it must be stable across
+	// reconnects (leases are keyed by worker + epoch).
+	ID string
+	// Addr is the dispatcher's address (possibly a chaos proxy in tests).
+	Addr string
+	// Fn computes one cell. It must be a pure function of the index —
+	// everything needed comes from the spec the daemon fetched at hello.
+	// ctx is cancelled when the worker is fenced off the cell or killed;
+	// Fn may ignore it (the result is then discarded on return). progress
+	// reports an in-cell completion estimate (0..1) carried on heartbeats.
+	Fn func(ctx context.Context, cell int, progress func(float64)) ([]byte, error)
+	// Retry drives reconnect backoff with jitter (default:
+	// slurm.DefaultRetryPolicy seeded from the ID hash).
+	Retry *slurm.RetryPolicy
+	// RequestTimeout bounds one protocol round trip (default 10s); without
+	// it a black-holed (partitioned, not refused) dispatcher stalls the
+	// worker until the OS gives up.
+	RequestTimeout time.Duration
+	// HeartbeatEvery overrides the dispatcher's advertised cadence (tests
+	// stretch it to keep a straggler un-heartbeated).
+	HeartbeatEvery time.Duration
+	// IdleWait caps how long the worker sleeps when the dispatcher has
+	// nothing leasable (default 200ms; the dispatcher's hint may be shorter).
+	IdleWait time.Duration
+}
+
+// Worker health states, mirroring the mini-slurm health vocabulary.
+const (
+	HealthOK       = "ok"
+	HealthDraining = "draining"
+	HealthFenced   = "fenced"
+)
+
+// Worker is one lease-execute-complete loop against a dispatcher.
+type Worker struct {
+	cfg WorkerConfig
+
+	// connMu serializes protocol exchanges on the single connection: the
+	// heartbeat goroutine and the main loop interleave whole request/response
+	// pairs, never bytes.
+	connMu  sync.Mutex
+	conn    net.Conn
+	sc      *bufio.Scanner
+	enc     *json.Encoder
+	hbEvery time.Duration
+
+	cancel    context.CancelFunc
+	draining  atomic.Bool
+	killed    atomic.Bool
+	fenced    atomic.Bool
+	cellsDone atomic.Int64
+	curCell   atomic.Int64 // -1 while idle
+	curEpoch  atomic.Int64
+}
+
+// NewWorker validates cfg and builds a worker (Run starts it).
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.ID == "" {
+		return nil, errors.New("fabric: worker ID is required")
+	}
+	if cfg.Addr == "" {
+		return nil, errors.New("fabric: dispatcher Addr is required")
+	}
+	if cfg.Fn == nil {
+		return nil, errors.New("fabric: worker Fn is required")
+	}
+	if cfg.Retry == nil {
+		cfg.Retry = slurm.DefaultRetryPolicy(idSeed(cfg.ID))
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	if cfg.IdleWait <= 0 {
+		cfg.IdleWait = 200 * time.Millisecond
+	}
+	w := &Worker{cfg: cfg}
+	w.curCell.Store(-1)
+	return w, nil
+}
+
+// idSeed derives a backoff-jitter seed from the worker ID, so a fleet of
+// daemons reconnecting after the same partition spreads out instead of
+// stampeding in lockstep.
+func idSeed(id string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Run leases, executes, and completes cells until the campaign is done
+// (returns nil), ctx is cancelled, or Kill is called. Drain lets the
+// in-flight cell finish and complete before returning.
+func (w *Worker) Run(ctx context.Context) error {
+	ctx, w.cancel = context.WithCancel(ctx)
+	defer w.cancel()
+	defer w.closeConn()
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if w.draining.Load() {
+			w.request(ctx, request{Op: "goodbye", Worker: w.cfg.ID})
+			return nil
+		}
+		resp, err := w.request(ctx, request{Op: "lease", Worker: w.cfg.ID})
+		if err != nil {
+			// Retry budget exhausted (long partition). Keep trying for as
+			// long as we are asked to exist — the dispatcher reclaims our
+			// leases meanwhile, so patience costs nothing but this worker.
+			if !w.sleepCtx(ctx, w.cfg.IdleWait) {
+				return ctx.Err()
+			}
+			continue
+		}
+		if resp.Done {
+			return nil
+		}
+		if !resp.Granted {
+			wait := time.Duration(resp.WaitMS) * time.Millisecond
+			if wait <= 0 || wait > w.cfg.IdleWait {
+				wait = w.cfg.IdleWait
+			}
+			if !w.sleepCtx(ctx, wait) {
+				return ctx.Err()
+			}
+			continue
+		}
+		w.fenced.Store(false)
+		w.runCell(ctx, resp.Cell, resp.Epoch)
+	}
+}
+
+// Drain asks the worker to finish its in-flight cell (completing it) and
+// then exit Run — the graceful shutdown a SIGTERM maps to.
+func (w *Worker) Drain() { w.draining.Store(true) }
+
+// Kill abandons everything immediately: the in-flight cell is cancelled and
+// never completed, the connection is severed mid-stream. This is the crash
+// the chaos test injects at seeded points.
+func (w *Worker) Kill() {
+	w.killed.Store(true)
+	if w.cancel != nil {
+		w.cancel()
+	}
+	w.closeConn()
+}
+
+// Snapshot reports the worker's health for the simd health verb.
+func (w *Worker) Snapshot() WorkerSnapshot {
+	health := HealthOK
+	if w.fenced.Load() {
+		health = HealthFenced
+	}
+	if w.draining.Load() {
+		health = HealthDraining
+	}
+	return WorkerSnapshot{
+		ID:         w.cfg.ID,
+		Health:     health,
+		CellsDone:  w.cellsDone.Load(),
+		LeaseCell:  w.curCell.Load(),
+		LeaseEpoch: w.curEpoch.Load(),
+	}
+}
+
+// runCell executes one leased cell: heartbeats in the background, the cell
+// function in the foreground, then a completion attempt whose Duplicate or
+// Stale verdict is absorbed silently (someone else won; our work dedupes).
+func (w *Worker) runCell(ctx context.Context, cell int, epoch int64) {
+	w.curCell.Store(int64(cell))
+	w.curEpoch.Store(epoch)
+	defer w.curCell.Store(-1)
+
+	cellCtx, cancelCell := context.WithCancel(ctx)
+	defer cancelCell()
+	var progress atomicFloat
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		w.heartbeatLoop(cellCtx, cell, epoch, &progress, cancelCell)
+	}()
+
+	result, err := w.cfg.Fn(cellCtx, cell, progress.store)
+	cancelCell()
+	<-hbDone
+
+	if w.killed.Load() {
+		return // crashed mid-cell: no completion, the lease dies with us
+	}
+	if w.fenced.Load() {
+		return // lease lost: self-fence, discard the result
+	}
+	req := request{Op: "complete", Worker: w.cfg.ID, Cell: cell, Epoch: epoch, Result: result}
+	if err != nil {
+		req.Result = nil
+		req.Err = err.Error()
+	}
+	resp, rerr := w.request(ctx, req)
+	if rerr != nil {
+		return // completion lost; the lease will expire and the cell requeue
+	}
+	if err == nil && !resp.Stale && !resp.Duplicate {
+		w.cellsDone.Add(1)
+	}
+}
+
+// heartbeatLoop renews the lease until the cell context ends. A "fenced"
+// answer cancels the cell: the lease is gone, so finishing the work can
+// only produce a stale completion.
+func (w *Worker) heartbeatLoop(ctx context.Context, cell int, epoch int64, progress *atomicFloat, fence func()) {
+	every := w.cfg.HeartbeatEvery
+	if every <= 0 {
+		w.connMu.Lock()
+		every = w.hbEvery
+		w.connMu.Unlock()
+	}
+	if every <= 0 {
+		every = time.Second
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		resp, err := w.request(ctx, request{
+			Op: "heartbeat", Worker: w.cfg.ID, Cell: cell, Epoch: epoch,
+			Progress: progress.load(),
+		})
+		if err != nil {
+			continue // reconnect already retried; the grace period covers us
+		}
+		if resp.Fenced {
+			w.fenced.Store(true)
+			fence()
+			return
+		}
+	}
+}
+
+// request performs one exchange, transparently redialing (with jittered
+// backoff and a fresh hello) on transport errors, up to the retry budget.
+func (w *Worker) request(ctx context.Context, req request) (response, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err := w.do1(req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil || w.killed.Load() {
+			return response{}, lastErr
+		}
+		if attempt >= w.cfg.Retry.MaxAttempts-1 {
+			return response{}, lastErr
+		}
+		sleepFor(w.cfg.Retry, w.cfg.Retry.Delay(attempt, 0))
+	}
+}
+
+// do1 sends one line and reads one line, dialing (and helloing) first if the
+// connection is down. Any failure tears the connection down so the next
+// attempt starts clean.
+func (w *Worker) do1(req request) (response, error) {
+	w.connMu.Lock()
+	defer w.connMu.Unlock()
+	if w.conn == nil {
+		if err := w.dialLocked(); err != nil {
+			return response{}, err
+		}
+	}
+	resp, err := w.exchangeLocked(req)
+	if err != nil {
+		w.teardownLocked()
+		return response{}, err
+	}
+	return resp, nil
+}
+
+func (w *Worker) exchangeLocked(req request) (response, error) {
+	w.conn.SetDeadline(time.Now().Add(w.cfg.RequestTimeout))
+	if err := w.enc.Encode(req); err != nil {
+		return response{}, fmt.Errorf("fabric: send: %w", err)
+	}
+	if !w.sc.Scan() {
+		if err := w.sc.Err(); err != nil {
+			return response{}, fmt.Errorf("fabric: receive: %w", err)
+		}
+		return response{}, io.ErrUnexpectedEOF
+	}
+	var resp response
+	if err := json.Unmarshal(w.sc.Bytes(), &resp); err != nil {
+		return response{}, fmt.Errorf("fabric: decode: %w", err)
+	}
+	if resp.Error != "" {
+		return resp, fmt.Errorf("fabric: dispatcher: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+func (w *Worker) dialLocked() error {
+	conn, err := net.DialTimeout("tcp", w.cfg.Addr, w.cfg.RequestTimeout)
+	if err != nil {
+		return fmt.Errorf("fabric: dial %s: %w", w.cfg.Addr, err)
+	}
+	w.conn = conn
+	w.sc = bufio.NewScanner(conn)
+	w.sc.Buffer(make([]byte, 0, 64*1024), maxLine)
+	w.enc = json.NewEncoder(conn)
+	resp, err := w.exchangeLocked(request{Op: "hello", Worker: w.cfg.ID})
+	if err != nil {
+		w.teardownLocked()
+		return err
+	}
+	w.hbEvery = time.Duration(resp.HeartbeatMS) * time.Millisecond
+	return nil
+}
+
+func (w *Worker) teardownLocked() {
+	if w.conn != nil {
+		w.conn.Close()
+		w.conn = nil
+	}
+}
+
+func (w *Worker) closeConn() {
+	w.connMu.Lock()
+	w.teardownLocked()
+	w.connMu.Unlock()
+}
+
+func (w *Worker) sleepCtx(ctx context.Context, d time.Duration) bool {
+	select {
+	case <-ctx.Done():
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+// FetchSpec asks the dispatcher for the campaign shape (cell count and the
+// opaque spec) — what a simd daemon needs before it can build its cell
+// function. Retries with jittered backoff until the deadline.
+func FetchSpec(addr string, timeout time.Duration) (spec []byte, cells int, err error) {
+	retry := slurm.DefaultRetryPolicy(idSeed(addr))
+	deadline := time.Now().Add(timeout)
+	for attempt := 0; ; attempt++ {
+		spec, cells, err = fetchSpecOnce(addr)
+		if err == nil || time.Now().After(deadline) {
+			return spec, cells, err
+		}
+		sleepFor(retry, retry.Delay(attempt, 0))
+	}
+}
+
+func fetchSpecOnce(addr string) ([]byte, int, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	if err := json.NewEncoder(conn).Encode(request{Op: "hello"}); err != nil {
+		return nil, 0, err
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLine)
+	if !sc.Scan() {
+		return nil, 0, io.ErrUnexpectedEOF
+	}
+	var resp response
+	if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+		return nil, 0, err
+	}
+	if resp.Error != "" {
+		return nil, 0, fmt.Errorf("fabric: dispatcher: %s", resp.Error)
+	}
+	return resp.Spec, resp.Cells, nil
+}
+
+// sleepFor waits via the policy's own primitive (tests stub it out),
+// falling back to a real sleep.
+func sleepFor(p *slurm.RetryPolicy, d time.Duration) {
+	if p.Sleep != nil {
+		p.Sleep(d)
+	} else {
+		time.Sleep(d)
+	}
+}
+
+// atomicFloat is a lock-free float64 cell (progress reporting).
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) store(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) load() float64   { return math.Float64frombits(f.bits.Load()) }
+
+// ---- simd health verb ----
+
+// WorkerSnapshot is one worker loop's health for the simd health verb.
+type WorkerSnapshot struct {
+	ID         string `json:"id"`
+	Health     string `json:"health"` // ok | draining | fenced
+	CellsDone  int64  `json:"cells_done"`
+	LeaseCell  int64  `json:"lease_cell"` // -1 while idle
+	LeaseEpoch int64  `json:"lease_epoch"`
+}
+
+// HealthReport is the simd health verb's reply, mini-slurm style: a
+// top-level health plus a fabric section with cells done and the current
+// lease (the first active one, with every loop's detail alongside).
+type HealthReport struct {
+	OK     bool         `json:"ok"`
+	Health string       `json:"health"` // ok | draining | fenced
+	Fabric FabricHealth `json:"fabric"`
+}
+
+// FabricHealth is the fabric section of a simd health reply.
+type FabricHealth struct {
+	CellsDone  int64            `json:"cells_done"`
+	LeaseCell  int64            `json:"lease_cell"` // -1 while idle
+	LeaseEpoch int64            `json:"lease_epoch"`
+	Workers    []WorkerSnapshot `json:"workers,omitempty"`
+}
+
+// AggregateHealth folds per-loop snapshots into one daemon report: draining
+// dominates, then fenced, else ok; cells done sum; the current lease is the
+// first loop's active one.
+func AggregateHealth(snaps []WorkerSnapshot) HealthReport {
+	rep := HealthReport{OK: true, Health: HealthOK}
+	rep.Fabric.LeaseCell = -1
+	for _, s := range snaps {
+		rep.Fabric.CellsDone += s.CellsDone
+		if rep.Fabric.LeaseCell < 0 && s.LeaseCell >= 0 {
+			rep.Fabric.LeaseCell = s.LeaseCell
+			rep.Fabric.LeaseEpoch = s.LeaseEpoch
+		}
+		if s.Health == HealthFenced && rep.Health == HealthOK {
+			rep.Health = HealthFenced
+		}
+		if s.Health == HealthDraining {
+			rep.Health = HealthDraining
+		}
+	}
+	rep.Fabric.Workers = snaps
+	return rep
+}
+
+// ServeHealth answers the mini-slurm-style health verb on addr: one JSON
+// request line {"op":"health"} per reply, built from snap at answer time.
+// Returns the bound address and a stop function.
+func ServeHealth(addr string, snap func() HealthReport) (bound string, stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("fabric: health listen: %w", err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer conn.Close()
+				sc := bufio.NewScanner(conn)
+				sc.Buffer(make([]byte, 0, 4096), 4096)
+				enc := json.NewEncoder(conn)
+				for {
+					conn.SetReadDeadline(time.Now().Add(time.Minute))
+					if !sc.Scan() {
+						return
+					}
+					var req request
+					if err := json.Unmarshal(sc.Bytes(), &req); err != nil || req.Op != "health" {
+						enc.Encode(response{Error: "only the health verb is served here"})
+						return
+					}
+					conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+					if enc.Encode(snap()) != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close(); wg.Wait() }, nil
+}

@@ -108,6 +108,14 @@ func RunOrdered[T any](n, workers int, fn func(i int) (T, error), consume func(i
 					return
 				}
 				v, err := fn(i)
+				if err != nil {
+					// Stop new claims before the result is even delivered:
+					// with a slow consumer the error can sit behind channel
+					// backpressure, and waiting for the reassembly loop to
+					// see it would let the pool keep burning cells above a
+					// failure that already dooms the run.
+					stop.Store(true)
+				}
 				results <- result[T]{index: i, value: v, err: err}
 			}
 		}()
@@ -126,13 +134,11 @@ func RunOrdered[T any](n, workers int, fn func(i int) (T, error), consume func(i
 		if firstErr != nil {
 			continue // draining after a failure
 		}
-		if r.err != nil {
-			// Stop claiming new cells now; indices are claimed in ascending
-			// order, so everything below this index is already in flight and
-			// will still be delivered. The ordered scan below decides which
-			// failure is the lowest-index one to report.
-			stop.Store(true)
-		}
+		// The failing worker already set stop when fn returned the error;
+		// indices are claimed in ascending order, so everything below the
+		// failing index is already in flight and will still be delivered.
+		// The ordered scan below decides which failure is the lowest-index
+		// one to report.
 		pending[r.index] = r
 		for {
 			head, ok := pending[nextConsume]

@@ -180,6 +180,45 @@ func TestErrorStopsClaimingNewCells(t *testing.T) {
 	}
 }
 
+// TestFailureStopsClaimsUnderBackpressure pins the fix for a waste bug: the
+// stop flag used to be set only when the reassembly loop *received* the
+// error result, so with a slow consumer the error sat behind channel
+// backpressure while workers kept claiming and burning cells above a
+// failure that already doomed the run. Now the failing worker sets stop the
+// moment fn errors, so at most the other workers' already-claimed cells
+// (≤ workers−1) can still observe the failure in flight.
+func TestFailureStopsClaimsUnderBackpressure(t *testing.T) {
+	const (
+		workers = 8
+		n       = 100000
+		failIdx = 5
+	)
+	var failed atomic.Bool
+	var burned atomic.Int64 // cells entered after the failure was recorded
+	err := RunOrdered(n, workers, func(i int) (int, error) {
+		if i == failIdx {
+			failed.Store(true)
+			return 0, errors.New("boom")
+		}
+		if failed.Load() {
+			burned.Add(1)
+		}
+		return i, nil
+	}, func(i, v int) error {
+		// Slow consumer: the backpressure that used to let the pool keep
+		// claiming long after the failure.
+		time.Sleep(5 * time.Millisecond)
+		return nil
+	})
+	var ce *CellError
+	if !errors.As(err, &ce) || ce.Index != failIdx {
+		t.Fatalf("err = %v, want CellError at %d", err, failIdx)
+	}
+	if b := burned.Load(); b > workers {
+		t.Fatalf("%d cells executed after the failure was recorded, want ≤ %d", b, workers)
+	}
+}
+
 // TestPoolHammer drives a large grid through many workers with work that
 // yields aggressively, as a -race target for the claim counter, result
 // channel, and reassembly buffer.

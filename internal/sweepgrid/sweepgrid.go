@@ -1,0 +1,182 @@
+// Package sweepgrid is the shared definition of a sweep campaign: the grid
+// spec, the cell enumeration order, the per-cell simulation, and the exact
+// CSV row encoding. Both execution paths — cmd/sweep running cells in-process
+// and the fabric dispatcher handing cells to simd daemons — build on this
+// one package, which is what makes their outputs byte-identical: a cell is a
+// pure function of the spec and its index, and a row's bytes are produced by
+// the same encoder regardless of where the cell ran.
+package sweepgrid
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Spec is a fully-described sweep grid. It marshals to JSON so a dispatcher
+// can ship it to workers in the hello exchange; a worker needs nothing else
+// to execute any cell.
+type Spec struct {
+	Policies []string  `json:"policies"`
+	Loads    []float64 `json:"loads"`
+	Seeds    int       `json:"seeds"`
+	Nodes    int       `json:"nodes"`
+	Jobs     int       `json:"jobs"`
+	Mix      string    `json:"mix"`
+	Scale    float64   `json:"scale"`
+}
+
+// Cell is one grid coordinate; the grid is policy-major, then load, then
+// seed, matching the original sequential loop nest.
+type Cell struct {
+	Policy string
+	Load   float64
+	Seed   uint64
+}
+
+// Validate rejects a spec that could never run; workers call this before
+// accepting leases so a bad spec fails loudly at hello time, not mid-grid.
+func (s Spec) Validate() error {
+	if len(s.Policies) == 0 {
+		return fmt.Errorf("sweepgrid: no policies")
+	}
+	if len(s.Loads) == 0 {
+		return fmt.Errorf("sweepgrid: no loads")
+	}
+	for _, l := range s.Loads {
+		if !(l > 0) {
+			return fmt.Errorf("sweepgrid: load must be > 0, got %g", l)
+		}
+	}
+	if s.Seeds < 1 {
+		return fmt.Errorf("sweepgrid: seeds must be ≥ 1, got %d", s.Seeds)
+	}
+	if s.Nodes < 1 {
+		return fmt.Errorf("sweepgrid: nodes must be ≥ 1, got %d", s.Nodes)
+	}
+	if s.Jobs < 1 {
+		return fmt.Errorf("sweepgrid: jobs must be ≥ 1, got %d", s.Jobs)
+	}
+	if !(s.Scale > 0) {
+		return fmt.Errorf("sweepgrid: scale must be > 0, got %g", s.Scale)
+	}
+	if _, err := workload.MixByName(s.Mix); err != nil {
+		return err
+	}
+	return nil
+}
+
+// NumCells is the grid size: |policies| × |loads| × seeds.
+func (s Spec) NumCells() int {
+	return len(s.Policies) * len(s.Loads) * s.Seeds
+}
+
+// CellAt maps a flat index to its grid coordinate in canonical order.
+// Panics on out-of-range index — callers get indices from the grid itself.
+func (s Spec) CellAt(i int) Cell {
+	perPolicy := len(s.Loads) * s.Seeds
+	p := i / perPolicy
+	rem := i % perPolicy
+	l := rem / s.Seeds
+	sd := rem % s.Seeds
+	return Cell{Policy: s.Policies[p], Load: s.Loads[l], Seed: uint64(42 + sd)}
+}
+
+// Header is the CSV header row, shared by every emitter.
+func Header() []string {
+	return []string{
+		"policy", "load", "seed", "finished", "makespan_s",
+		"comp_efficiency", "sched_efficiency", "utilization", "shared_fraction",
+		"wait_mean_s", "wait_p95_s", "slowdown_mean", "stretch_mean",
+	}
+}
+
+// RunCell executes one grid cell: an isolated simulation built entirely from
+// the spec and the cell's coordinates (its own workload, cluster, and
+// engine), safe to run concurrently with any other cell — in this process or
+// another one.
+func (s Spec) RunCell(i int) ([]string, error) {
+	c := s.CellAt(i)
+	mix, err := workload.MixByName(s.Mix)
+	if err != nil {
+		return nil, err
+	}
+	machine := cluster.Trinity(s.Nodes)
+	generated, err := workload.Generate(workload.Spec{
+		Mix: mix, Jobs: s.Jobs, Arrival: workload.Poisson, Load: c.Load,
+		Cluster: machine, RuntimeScale: s.Scale, Seed: c.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sys, err := core.NewSystem(core.Config{Machine: machine, Policy: c.Policy})
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.SubmitJobs(generated); err != nil {
+		return nil, err
+	}
+	sys.Run()
+	r := sys.Metrics()
+	return []string{
+		c.Policy,
+		fmt.Sprintf("%g", c.Load),
+		fmt.Sprintf("%d", c.Seed),
+		fmt.Sprintf("%d", r.Finished),
+		fmt.Sprintf("%.1f", float64(r.Makespan)),
+		fmt.Sprintf("%.4f", r.CompEfficiency),
+		fmt.Sprintf("%.4f", r.SchedEfficiency),
+		fmt.Sprintf("%.4f", r.Utilization),
+		fmt.Sprintf("%.4f", r.SharedFraction),
+		fmt.Sprintf("%.1f", r.Wait.Mean),
+		fmt.Sprintf("%.1f", r.Wait.P95),
+		fmt.Sprintf("%.3f", r.Slowdown.Mean),
+		fmt.Sprintf("%.4f", r.Stretch.Mean),
+	}, nil
+}
+
+// EncodeRow renders one row to the exact bytes csv.Writer would emit —
+// including the trailing newline — so remotely-executed cells reassemble
+// into a CSV byte-identical to the in-process path.
+func EncodeRow(row []string) ([]byte, error) {
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
+	if err := w.Write(row); err != nil {
+		return nil, err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RunCellBytes is the worker-side cell function: execute and encode. The
+// returned bytes are the fabric payload.
+func (s Spec) RunCellBytes(i int) ([]byte, error) {
+	row, err := s.RunCell(i)
+	if err != nil {
+		return nil, err
+	}
+	return EncodeRow(row)
+}
+
+// Marshal renders the spec for the dispatcher's hello payload.
+func (s Spec) Marshal() ([]byte, error) { return json.Marshal(s) }
+
+// DecodeSpec parses and validates a spec received from a dispatcher.
+func DecodeSpec(b []byte) (Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(b, &s); err != nil {
+		return Spec{}, fmt.Errorf("sweepgrid: bad spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}

@@ -1,0 +1,115 @@
+package sweepgrid
+
+import (
+	"bytes"
+	"encoding/csv"
+	"reflect"
+	"testing"
+)
+
+func testSpec() Spec {
+	return Spec{
+		Policies: []string{"easy", "sharebackfill"},
+		Loads:    []float64{0.9, 1.4},
+		Seeds:    2,
+		Nodes:    16,
+		Jobs:     60,
+		Mix:      "trinity",
+		Scale:    0.05,
+	}
+}
+
+// CellAt must enumerate exactly the canonical policy-major loop nest.
+func TestCellEnumerationOrder(t *testing.T) {
+	s := testSpec()
+	var want []Cell
+	for _, p := range s.Policies {
+		for _, l := range s.Loads {
+			for sd := 0; sd < s.Seeds; sd++ {
+				want = append(want, Cell{Policy: p, Load: l, Seed: uint64(42 + sd)})
+			}
+		}
+	}
+	if s.NumCells() != len(want) {
+		t.Fatalf("NumCells = %d, want %d", s.NumCells(), len(want))
+	}
+	for i, w := range want {
+		if got := s.CellAt(i); got != w {
+			t.Fatalf("CellAt(%d) = %+v, want %+v", i, got, w)
+		}
+	}
+}
+
+// EncodeRow must match csv.Writer byte for byte — that equality is the whole
+// point of the helper.
+func TestEncodeRowMatchesCSVWriter(t *testing.T) {
+	rows := [][]string{
+		Header(),
+		{"easy", "0.9", "42", "60", "123.4", "0.9000", "0.8000", "0.7000", "0.1000", "1.0", "2.0", "1.500", "1.2000"},
+		{"with,comma", `with"quote`, "plain"},
+	}
+	for _, row := range rows {
+		var buf bytes.Buffer
+		w := csv.NewWriter(&buf)
+		if err := w.Write(row); err != nil {
+			t.Fatal(err)
+		}
+		w.Flush()
+		got, err := EncodeRow(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, buf.Bytes()) {
+			t.Fatalf("EncodeRow(%q) = %q, want %q", row, got, buf.Bytes())
+		}
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	s := testSpec()
+	b, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSpec(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("roundtrip = %+v, want %+v", got, s)
+	}
+}
+
+func TestDecodeSpecRejectsInvalid(t *testing.T) {
+	cases := map[string]string{
+		"bad json":  `{`,
+		"no seeds":  `{"policies":["easy"],"loads":[0.9],"seeds":0,"nodes":8,"jobs":10,"mix":"trinity","scale":0.05}`,
+		"bad mix":   `{"policies":["easy"],"loads":[0.9],"seeds":1,"nodes":8,"jobs":10,"mix":"nope","scale":0.05}`,
+		"zero load": `{"policies":["easy"],"loads":[0],"seeds":1,"nodes":8,"jobs":10,"mix":"trinity","scale":0.05}`,
+	}
+	for name, raw := range cases {
+		if _, err := DecodeSpec([]byte(raw)); err == nil {
+			t.Errorf("%s: DecodeSpec accepted %q", name, raw)
+		}
+	}
+}
+
+// A cell is a pure function of (spec, index): two executions must produce
+// identical bytes — the invariant first-result-wins dedup relies on.
+func TestRunCellDeterministic(t *testing.T) {
+	s := testSpec()
+	a, err := s.RunCellBytes(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.RunCellBytes(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("cell 3 not deterministic:\n%q\n%q", a, b)
+	}
+	if len(bytes.TrimSpace(a)) == 0 {
+		t.Fatal("cell produced empty row")
+	}
+}
