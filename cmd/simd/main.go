@@ -6,12 +6,19 @@
 //
 //	simd -dispatch host:7077 -parallel 4 -health :7078
 //
+// The dispatcher may also die and come back (sweep -dispatch -journal): each
+// reconnect's hello adopts the dispatcher's current generation, while a
+// lease keeps the generation it was granted under — so a completion or
+// heartbeat that crossed a dispatcher restart is fenced as stale and the
+// loop re-leases under the new incarnation, with no operator involvement.
+//
 // Signals follow the mini-slurm convention: the first SIGINT/SIGTERM drains
 // (each loop finishes and completes its in-flight cell, says goodbye, and
 // exits); a second signal kills immediately (in-flight work is abandoned to
 // the dispatcher's reclaim machinery). The -health address answers the
 // mini-slurm-style health verb with an ok|draining|fenced status and a
-// fabric section (cells done, current lease).
+// fabric section (cells done, current lease, each loop's dispatcher
+// generation — a mid-campaign bump means the dispatcher restarted).
 package main
 
 import (

@@ -2,12 +2,16 @@ package main
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/fabric"
 	"repro/internal/sweepgrid"
+	"repro/internal/vfs"
 )
 
 // runDispatch serves the grid to simd daemons: sweep becomes the fabric
@@ -15,10 +19,29 @@ import (
 // strict grid order — byte-identical to the local path, because both sides
 // run the same sweepgrid cells and row encoder. started (optional) receives
 // the bound address once listening, so tests can dial an ephemeral port.
-func runDispatch(cfg config, addr string, out io.Writer, verbose bool, started func(string)) error {
+//
+// With journal set the campaign is crash-recoverable: accepted rows are
+// journaled, and a dispatcher restarted on the same journal re-emits the
+// committed prefix, requeues the rest, and fences workers still holding
+// pre-crash leases. The signal ladder matches simd and mini-slurm: the
+// first SIGINT/SIGTERM checkpoints the journal and drains (in-flight cells
+// land, nothing new is granted; Wait returns fabric.ErrDrained), the second
+// kills immediately.
+func runDispatch(cfg config, addr, journal string, out io.Writer, verbose bool, started func(string)) error {
 	spec := cfg.spec()
 	specBytes, err := spec.Marshal()
 	if err != nil {
+		return err
+	}
+	// Header goes out before the dispatcher exists: a resumed campaign
+	// re-emits its journal-committed rows inside NewDispatcher, and once the
+	// port is open workers complete cells concurrently — either way rows
+	// must land after the header.
+	header, err := sweepgrid.EncodeRow(sweepgrid.Header())
+	if err != nil {
+		return err
+	}
+	if _, err := out.Write(header); err != nil {
 		return err
 	}
 	fcfg := fabric.Config{
@@ -28,6 +51,8 @@ func runDispatch(cfg config, addr string, out io.Writer, verbose bool, started f
 			_, err := out.Write(row)
 			return err
 		},
+		JournalPath: journal,
+		FS:          vfs.OS{},
 	}
 	if verbose {
 		logger := log.New(os.Stderr, "sweep: ", log.Ltime|log.Lmicroseconds)
@@ -38,15 +63,31 @@ func runDispatch(cfg config, addr string, out io.Writer, verbose bool, started f
 		return err
 	}
 	defer d.Close()
-	// Header goes out before Listen: once the port is open, workers can
-	// complete cells and Consume starts writing rows concurrently.
-	header, err := sweepgrid.EncodeRow(sweepgrid.Header())
-	if err != nil {
-		return err
-	}
-	if _, err := out.Write(header); err != nil {
-		return err
-	}
+
+	// First signal drains (journal checkpointed; restart resumes), second
+	// kills — the same shutdown ladder simd and mini-slurm follow.
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	sigDone := make(chan struct{})
+	defer close(sigDone)
+	go func() {
+		select {
+		case <-sigs:
+		case <-sigDone:
+			return
+		}
+		fmt.Fprintln(os.Stderr, "sweep: draining (journal checkpointed; signal again to kill)")
+		d.Drain()
+		select {
+		case <-sigs:
+		case <-sigDone:
+			return
+		}
+		fmt.Fprintln(os.Stderr, "sweep: killed")
+		d.Close()
+	}()
+
 	bound, err := d.Listen(addr)
 	if err != nil {
 		return err

@@ -3,6 +3,9 @@ package main
 import (
 	"bytes"
 	"context"
+	"errors"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -23,7 +26,7 @@ func TestDifferentialDispatch(t *testing.T) {
 	started := make(chan string, 1)
 	dispatchErr := make(chan error, 1)
 	go func() {
-		dispatchErr <- runDispatch(cfg, "127.0.0.1:0", &remote, false,
+		dispatchErr <- runDispatch(cfg, "127.0.0.1:0", "", &remote, false,
 			func(addr string) { started <- addr })
 	}()
 
@@ -77,5 +80,112 @@ func TestDifferentialDispatch(t *testing.T) {
 	if !bytes.Equal(local, remote.Bytes()) {
 		t.Fatalf("dispatched output differs from local run:\n--- local ---\n%s\n--- dispatched ---\n%s",
 			local, remote.Bytes())
+	}
+}
+
+// TestDispatchJournalResume is the CLI half of the crash-recovery contract:
+// a journaled campaign run to completion, then re-run with the same journal
+// and ZERO workers, must re-emit the identical CSV purely from the journal —
+// no cell is recomputed, the header lands before the replayed rows, and the
+// second run exits as soon as the recovered prefix covers the grid.
+func TestDispatchJournalResume(t *testing.T) {
+	cfg := gridConfig(t, 2)
+	local := runToBytes(t, cfg)
+	journal := filepath.Join(t.TempDir(), "grid.journal")
+
+	// First run: a journaled campaign completed by real workers.
+	var first bytes.Buffer
+	started := make(chan string, 1)
+	dispatchErr := make(chan error, 1)
+	go func() {
+		dispatchErr <- runDispatch(cfg, "127.0.0.1:0", journal, &first, false,
+			func(addr string) { started <- addr })
+	}()
+	var addr string
+	select {
+	case addr = <-started:
+	case err := <-dispatchErr:
+		t.Fatalf("dispatcher exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("dispatcher never started listening")
+	}
+	raw, _, err := fabric.FetchSpec(addr, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := sweepgrid.DecodeSpec(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	for i := 0; i < 2; i++ {
+		w, err := fabric.NewWorker(fabric.WorkerConfig{
+			ID:   string(rune('a' + i)),
+			Addr: addr,
+			Fn: func(ctx context.Context, cell int, progress func(float64)) ([]byte, error) {
+				return spec.RunCellBytes(cell)
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go w.Run(ctx)
+	}
+	select {
+	case err := <-dispatchErr:
+		if err != nil {
+			t.Fatalf("journaled campaign: %v", err)
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatal("journaled campaign did not finish")
+	}
+	if !bytes.Equal(local, first.Bytes()) {
+		t.Fatalf("journaled run differs from local run:\n--- local ---\n%s\n--- journaled ---\n%s",
+			local, first.Bytes())
+	}
+
+	// Second run: same journal, no workers. Every row must come back from
+	// the journal alone, byte-identical.
+	var second bytes.Buffer
+	if err := runDispatch(cfg, "127.0.0.1:0", journal, &second, false, nil); err != nil {
+		t.Fatalf("journal replay: %v", err)
+	}
+	if !bytes.Equal(local, second.Bytes()) {
+		t.Fatalf("journal replay differs from local run:\n--- local ---\n%s\n--- replay ---\n%s",
+			local, second.Bytes())
+	}
+}
+
+// TestDispatchJournalRefusesOtherGrid: restarting with the same journal but
+// a different grid must refuse rather than mix campaigns.
+func TestDispatchJournalRefusesOtherGrid(t *testing.T) {
+	cfg := gridConfig(t, 2)
+	journal := filepath.Join(t.TempDir(), "grid.journal")
+	var out bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- runDispatch(cfg, "127.0.0.1:0", journal, &out, false, nil)
+	}()
+	// The journal header+campaign records are written inside NewDispatcher,
+	// before Listen; poll until the file exists, then abandon the campaign.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := os.Stat(journal); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("journal never created")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	other, err := validate("easy", "0.9", 1, 32, 150, "trinity", 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out2 bytes.Buffer
+	if err := runDispatch(other, "127.0.0.1:0", journal, &out2, false, nil); !errors.Is(err, fabric.ErrCampaignMismatch) {
+		t.Fatalf("dispatch on foreign journal = %v, want ErrCampaignMismatch", err)
 	}
 }

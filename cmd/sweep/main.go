@@ -14,15 +14,31 @@
 // bytes, reassembled in strict grid order.
 //
 //	sweep -dispatch :7077 -seeds 5 > grid.csv      # then: simd -dispatch host:7077
+//
+// Adding -journal makes a dispatched campaign crash-recoverable: accepted
+// rows are journaled as they land, and a sweep restarted with the same
+// -journal (and the same grid flags) resumes — committed rows are re-emitted
+// without recomputation, the rest requeued, and workers still holding leases
+// from the crashed incarnation are fenced off them. The first SIGINT drains
+// (checkpointing the journal for a later resume); the second kills.
+//
+//	sweep -dispatch :7077 -journal grid.journal -seeds 5 > grid.csv
+//
+// -dispatch-health asks a running dispatcher how far the campaign is
+// (cells done/leased, generation, connections) and prints the JSON reply.
 package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/parallel"
 	"repro/internal/sweepgrid"
 )
@@ -65,18 +81,43 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel grid workers (0 = all cores)")
 	dispatch := flag.String("dispatch", "",
 		"serve the grid to simd daemons on this address (e.g. :7077) instead of running locally")
+	journal := flag.String("journal", "",
+		"campaign journal path (dispatch mode): makes the campaign crash-recoverable; restart with the same journal to resume")
+	dispatchHealth := flag.String("dispatch-health", "",
+		"query a running dispatcher's health at this address, print the JSON reply, and exit")
 	verbose := flag.Bool("verbose", false, "log every lease decision to stderr (dispatch mode)")
 	flag.Parse()
+
+	if *dispatchHealth != "" {
+		h, err := fabric.FetchDispatchHealth(*dispatchHealth, 5*time.Second)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(h); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	cfg, err := validate(*policies, *loads, *seeds, *nodes, *jobs, *mixName, *scale, *workers)
 	if err != nil {
 		fatal(err)
 	}
 	if *dispatch != "" {
-		err = runDispatch(cfg, *dispatch, os.Stdout, *verbose, func(addr string) {
+		err = runDispatch(cfg, *dispatch, *journal, os.Stdout, *verbose, func(addr string) {
 			fmt.Fprintln(os.Stderr, "sweep: dispatching grid on", addr)
 		})
+		if errors.Is(err, fabric.ErrDrained) {
+			// A drained campaign is a clean, resumable stop, not a failure.
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			return
+		}
 	} else {
+		if *journal != "" {
+			fatal(errors.New("-journal requires -dispatch (the local path recomputes cells instead)"))
+		}
 		err = run(cfg, os.Stdout)
 	}
 	if err != nil {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/parallel"
+	"repro/internal/vfs"
 )
 
 // Config shapes one dispatcher campaign. Cells and Consume are required;
@@ -60,6 +61,18 @@ type Config struct {
 	// (default 100).
 	IdleWaitMS int64
 
+	// JournalPath, when set, makes the campaign crash-recoverable: every
+	// accepted completion is appended to a CRC32C-framed journal, and a
+	// dispatcher restarted on the same path resumes — recovered cells are
+	// DONE, the committed rows are re-emitted through Consume in strict
+	// order, everything else is requeued, and the journaled generation is
+	// bumped so pre-crash leases fence. Empty = in-memory only (PR 6
+	// behavior).
+	JournalPath string
+	// FS is the filesystem the journal is written through (default vfs.OS{};
+	// storage tests inject vfs.Faulty for torn appends and crash points).
+	FS vfs.FS
+
 	// Logf, when set, receives every lease decision (grant, requeue,
 	// speculation, dedup, stale, fence, flush milestones) in addition to the
 	// in-memory decision log.
@@ -95,25 +108,33 @@ type cellRec struct {
 // campaign completes.
 var ErrClosed = errors.New("fabric: dispatcher closed")
 
+// ErrDrained is returned by Wait when Drain ended the campaign early: the
+// journal is checkpointed and a dispatcher restarted on it resumes where
+// this one stopped.
+var ErrDrained = errors.New("fabric: campaign drained (journal checkpointed; restart with the same journal to resume)")
+
 // Dispatcher owns a campaign: the lease table, the reassembly window, and
 // the listener workers connect to.
 type Dispatcher struct {
 	cfg Config
 	now func() time.Time // injectable for deterministic lease tests
 
-	mu        sync.Mutex
-	cells     []cellRec
-	pending   intHeap // min-heap of grantable indices (lazy deletion)
-	samples   []float64
-	buffer    map[int][]byte // done but not yet flushed (bounded by Window)
-	nextFlush int
-	failedAt  int // lowest FAILED index, -1 while none
-	failedErr error
-	done      bool
-	finalErr  error
-	doneCh    chan struct{}
-	counters  Counters
-	decisions []string
+	mu         sync.Mutex
+	cells      []cellRec
+	pending    intHeap // min-heap of grantable indices (lazy deletion)
+	samples    []float64
+	buffer     map[int][]byte // done but not yet flushed (bounded by Window)
+	nextFlush  int
+	failedAt   int // lowest FAILED index, -1 while none
+	failedErr  error
+	done       bool
+	draining   bool
+	finalErr   error
+	doneCh     chan struct{}
+	counters   Counters
+	decisions  []string
+	jr         *CampaignJournal
+	generation int64
 
 	ln      net.Listener
 	conns   map[net.Conn]int64
@@ -162,19 +183,73 @@ func NewDispatcher(cfg Config) (*Dispatcher, error) {
 		cfg.WriteTimeout = 30 * time.Second
 	}
 	d := &Dispatcher{
-		cfg:      cfg,
-		now:      time.Now,
-		cells:    make([]cellRec, cfg.Cells),
-		buffer:   make(map[int][]byte),
-		failedAt: -1,
-		doneCh:   make(chan struct{}),
-		conns:    make(map[net.Conn]int64),
+		cfg:        cfg,
+		now:        time.Now,
+		cells:      make([]cellRec, cfg.Cells),
+		buffer:     make(map[int][]byte),
+		failedAt:   -1,
+		doneCh:     make(chan struct{}),
+		conns:      make(map[net.Conn]int64),
+		generation: 1,
 	}
-	d.pending = make(intHeap, cfg.Cells)
-	for i := range d.pending {
-		d.pending[i] = i
+	if cfg.JournalPath != "" {
+		if err := d.openJournal(); err != nil {
+			return nil, err
+		}
+	}
+	d.pending = make(intHeap, 0, cfg.Cells)
+	for i := range d.cells {
+		if d.cells[i].state == statePending {
+			d.pending = append(d.pending, i)
+		}
 	}
 	return d, nil
+}
+
+// openJournal opens or resumes the campaign journal and applies the
+// recovery: recovered cells become DONE, the committed prefix is re-emitted
+// through Consume in strict order, and the generation adopts the journaled
+// bump. Recovered rows above the flush prefix stay buffered, so no committed
+// work is recomputed. Runs before Listen — a worker can never observe a
+// half-recovered campaign.
+func (d *Dispatcher) openJournal() error {
+	jr, rec, err := OpenCampaignJournal(d.cfg.FS, d.cfg.JournalPath, d.cfg.Spec, d.cfg.Cells)
+	if err != nil {
+		return err
+	}
+	d.jr = jr
+	d.generation = rec.Gen
+	if !rec.Resumed {
+		d.logLocked("campaign journal=%s gen=%d", d.cfg.JournalPath, d.generation)
+		return nil
+	}
+	fabricVars().Add("dispatcher_restarts", 1)
+	d.counters.Resumed = int64(len(rec.Rows))
+	fabricVars().Add("resumed_cells", int64(len(rec.Rows)))
+	for i, row := range rec.Rows {
+		d.cells[i].state = stateDone
+		d.buffer[i] = row
+	}
+	d.logLocked("resume journal=%s gen=%d recovered=%d salvaged_bytes=%d",
+		d.cfg.JournalPath, d.generation, len(rec.Rows), rec.SalvagedBytes)
+	d.flushLocked()
+	d.checkDoneLocked()
+	return nil
+}
+
+// journalCellLocked appends one accepted completion to the campaign journal.
+// An append failure degrades durability, never correctness: the cell is pure
+// and a restarted dispatcher recomputes what the journal lost, so the
+// campaign keeps running and the error is counted instead of fatal.
+func (d *Dispatcher) journalCellLocked(cell int, row []byte) {
+	if d.jr == nil {
+		return
+	}
+	if err := d.jr.AppendCell(cell, row); err != nil {
+		d.counters.JournalErrors++
+		fabricVars().Add("journal_errors", 1)
+		d.logLocked("journal-error cell=%d err=%v", cell, err)
+	}
 }
 
 // Listen starts accepting workers on addr ("host:port"; ":0" picks a free
@@ -231,6 +306,91 @@ func (d *Dispatcher) Close() {
 	}
 	d.mu.Unlock()
 	d.wg.Wait()
+	d.mu.Lock()
+	if d.jr != nil {
+		d.jr.Close()
+		d.jr = nil
+	}
+	d.mu.Unlock()
+}
+
+// Drain checkpoints the journal and stops granting: in-flight leases may
+// still complete (and are journaled), but nothing new is handed out; once no
+// live lease remains the campaign ends with ErrDrained. This is what the
+// first SIGINT of sweep's dispatch signal ladder maps to — the second kills
+// via Close.
+func (d *Dispatcher) Drain() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.draining || d.done {
+		return
+	}
+	d.draining = true
+	if d.jr != nil {
+		if err := d.jr.Checkpoint(); err != nil {
+			d.counters.JournalErrors++
+			fabricVars().Add("journal_errors", 1)
+			d.logLocked("journal-error checkpoint err=%v", err)
+		}
+	}
+	d.logLocked("drain gen=%d flushed=%d", d.generation, d.nextFlush)
+	d.maybeFinishDrainLocked()
+}
+
+// maybeFinishDrainLocked ends a draining campaign once no live lease
+// remains: everything granted has completed, failed, or expired, so there is
+// nothing left to wait for.
+func (d *Dispatcher) maybeFinishDrainLocked() {
+	if !d.draining || d.done {
+		return
+	}
+	for i := range d.cells {
+		if d.cells[i].state == stateLeased {
+			return
+		}
+	}
+	d.finishLocked(ErrDrained)
+}
+
+// Generation is the dispatcher's fencing generation: 1 for a fresh or
+// journal-less campaign, +1 per journaled restart.
+func (d *Dispatcher) Generation() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.generation
+}
+
+// Health is the dispatcher's health snapshot, served on the listener as the
+// health verb and exposed here for in-process callers.
+func (d *Dispatcher) Health() DispatchHealth {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	h := DispatchHealth{
+		OK:           true,
+		Health:       "ok",
+		Generation:   d.generation,
+		CellsTotal:   len(d.cells),
+		Flushed:      int64(d.nextFlush),
+		Connections:  len(d.conns),
+		Journal:      d.cfg.JournalPath != "",
+		ResumedCells: d.counters.Resumed,
+		StaleGen:     d.counters.StaleGen,
+	}
+	for i := range d.cells {
+		switch d.cells[i].state {
+		case stateDone:
+			h.CellsDone++
+		case stateLeased:
+			h.CellsLeased++
+		}
+	}
+	if d.draining {
+		h.Health = "draining"
+	}
+	if d.done {
+		h.Health = "done"
+	}
+	return h
 }
 
 // Counters returns a consistent snapshot of the decision tallies.
@@ -308,14 +468,18 @@ func (d *Dispatcher) serveConn(conn net.Conn, id int64) {
 			return
 		}
 		var req request
-		var resp response
+		var out any
 		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
-			resp = response{Error: fmt.Sprintf("bad request: %v", err)}
+			out = response{Error: fmt.Sprintf("bad request: %v", err)}
+		} else if req.Op == "health" {
+			// The health verb answers with the richer DispatchHealth shape,
+			// mirroring mini-slurm health and simd -health.
+			out = d.Health()
 		} else {
-			resp = d.handle(req, id)
+			out = d.handle(req, id)
 		}
 		conn.SetWriteDeadline(time.Now().Add(d.cfg.WriteTimeout))
-		if enc.Encode(resp) != nil {
+		if enc.Encode(out) != nil {
 			return
 		}
 	}
@@ -328,13 +492,11 @@ func (d *Dispatcher) handle(req request, connID int64) response {
 	case "lease":
 		return d.grant(req.Worker, connID)
 	case "heartbeat":
-		return d.heartbeat(req.Worker, req.Cell, req.Epoch, connID)
+		return d.heartbeat(req.Worker, req.Cell, req.Epoch, req.Gen, connID)
 	case "complete":
-		return d.complete(req.Worker, req.Cell, req.Epoch, req.Result, req.Err)
+		return d.complete(req.Worker, req.Cell, req.Epoch, req.Gen, req.Result, req.Err)
 	case "goodbye":
 		return d.goodbye(req.Worker, connID)
-	case "health":
-		return d.healthResp()
 	default:
 		return response{Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}
@@ -347,16 +509,11 @@ func (d *Dispatcher) hello() response {
 		OK:          true,
 		Cells:       len(d.cells),
 		Spec:        json.RawMessage(d.cfg.Spec),
+		Gen:         d.generation,
 		LeaseMS:     durMS(d.cfg.LeaseTTL),
 		HeartbeatMS: durMS(d.cfg.HeartbeatEvery),
 		Done:        d.done,
 	}
-}
-
-func (d *Dispatcher) healthResp() response {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return response{OK: true, Cells: len(d.cells), Done: d.done}
 }
 
 // ---- lease state machine ----
@@ -374,6 +531,10 @@ func (d *Dispatcher) grant(worker string, connID int64) response {
 	d.sweepExpiredLocked()
 	if d.done {
 		return response{OK: true, Done: true}
+	}
+	if d.draining {
+		// Drain: nothing new is granted; in-flight completions still land.
+		return response{OK: true, WaitMS: d.cfg.IdleWaitMS}
 	}
 	// Fresh cell: lowest pending index, gated by the window and — after a
 	// recorded failure — by the doomed-suffix cap (cells above the lowest
@@ -423,8 +584,8 @@ func (d *Dispatcher) grantCellLocked(idx int, worker string, connID int64, specu
 		d.counters.SpeculativeGrants++
 		fabricVars().Add("speculative_grants", 1)
 	}
-	d.logLocked("%s cell=%d epoch=%d worker=%s", kind, idx, c.epoch, worker)
-	return response{OK: true, Granted: true, Cell: idx, Epoch: c.epoch, Speculative: speculative}
+	d.logLocked("%s cell=%d epoch=%d gen=%d worker=%s", kind, idx, c.epoch, d.generation, worker)
+	return response{OK: true, Granted: true, Cell: idx, Epoch: c.epoch, Gen: d.generation, Speculative: speculative}
 }
 
 // speculationTargetLocked picks the lowest single-leased cell whose oldest
@@ -507,6 +668,7 @@ func (d *Dispatcher) sweepExpiredLocked() {
 			d.logLocked("requeue cell=%d next_epoch=%d", idx, c.epoch+1)
 		}
 	}
+	d.maybeFinishDrainLocked()
 }
 
 // heartbeat renews a live lease (and rebinds it to the worker's current
@@ -515,11 +677,23 @@ func (d *Dispatcher) sweepExpiredLocked() {
 // worker must abandon the cell. A heartbeat for a finished cell is harmless —
 // the worker may run to completion and its result will dedupe, which is
 // exactly the at-least-once → exactly-once story.
-func (d *Dispatcher) heartbeat(worker string, cell int, epoch, connID int64) response {
+func (d *Dispatcher) heartbeat(worker string, cell int, epoch, gen, connID int64) response {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if cell < 0 || cell >= len(d.cells) {
 		return response{Error: fmt.Sprintf("cell %d out of range", cell)}
+	}
+	if gen != d.generation {
+		// A lease from a pre-restart incarnation: the restarted dispatcher
+		// requeued the cell, so the holder must abandon it and re-lease under
+		// the current generation (its reconnect already re-helloed).
+		d.counters.Fenced++
+		d.counters.StaleGen++
+		fabricVars().Add("fenced", 1)
+		fabricVars().Add("stale_generation", 1)
+		d.logLocked("fence-gen cell=%d epoch=%d worker=%s gen=%d current_gen=%d",
+			cell, epoch, worker, gen, d.generation)
+		return response{OK: true, Fenced: true}
 	}
 	c := &d.cells[cell]
 	if c.state == stateDone || c.state == stateFailed {
@@ -544,11 +718,23 @@ func (d *Dispatcher) heartbeat(worker string, cell int, epoch, connID int64) res
 // holding a live lease is accepted and flushed; completions for done cells
 // dedupe; completions whose lease was reclaimed or superseded are stale and
 // discarded (the cell's surviving lease, or the requeue queue, owns it).
-func (d *Dispatcher) complete(worker string, cell int, epoch int64, result []byte, errStr string) response {
+func (d *Dispatcher) complete(worker string, cell int, epoch, gen int64, result []byte, errStr string) response {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if cell < 0 || cell >= len(d.cells) {
 		return response{Error: fmt.Sprintf("cell %d out of range", cell)}
+	}
+	if gen != d.generation {
+		// Fenced stale-generation completion: the lease predates a dispatcher
+		// restart. The restarted dispatcher requeued (or recovered) the cell;
+		// accepting a pre-crash result would race the current lease holder,
+		// so it is rejected and counted — the worker re-leases under the new
+		// generation and the campaign stays exactly-once.
+		d.counters.StaleGen++
+		fabricVars().Add("stale_generation", 1)
+		d.logLocked("stale-gen cell=%d epoch=%d worker=%s gen=%d current_gen=%d",
+			cell, epoch, worker, gen, d.generation)
+		return response{OK: true, Stale: true, Done: d.done}
 	}
 	c := &d.cells[cell]
 	switch {
@@ -571,11 +757,13 @@ func (d *Dispatcher) complete(worker string, cell int, epoch int64, result []byt
 			}
 			d.logLocked("fail cell=%d epoch=%d worker=%s err=%q", cell, epoch, worker, errStr)
 			d.checkDoneLocked()
+			d.maybeFinishDrainLocked()
 			return response{OK: true, Done: d.done}
 		}
 		d.samples = append(d.samples, d.now().Sub(l.started).Seconds())
 		c.state = stateDone
 		c.leases = nil
+		d.journalCellLocked(cell, result)
 		d.counters.Completed++
 		fabricVars().Add("completed", 1)
 		if l.speculative {
@@ -587,6 +775,7 @@ func (d *Dispatcher) complete(worker string, cell int, epoch int64, result []byt
 		d.buffer[cell] = result
 		d.flushLocked()
 		d.checkDoneLocked()
+		d.maybeFinishDrainLocked()
 		return response{OK: true, Done: d.done}
 	default:
 		d.counters.Stale++
@@ -690,7 +879,16 @@ func (d *Dispatcher) finishLocked(err error) {
 	}
 	d.done = true
 	d.finalErr = err
-	d.logLocked("campaign-done flushed=%d err=%v", d.nextFlush, err)
+	if d.jr != nil {
+		// Best-effort final checkpoint: a finished (or drained) campaign's
+		// journal should survive power loss without relying on the OS cache.
+		if cerr := d.jr.Checkpoint(); cerr != nil {
+			d.counters.JournalErrors++
+			fabricVars().Add("journal_errors", 1)
+			d.logLocked("journal-error checkpoint err=%v", cerr)
+		}
+	}
+	d.logLocked("campaign-done flushed=%d gen=%d err=%v", d.nextFlush, d.generation, err)
 	close(d.doneCh)
 }
 

@@ -110,7 +110,7 @@ func TestGrantCompleteFlushInOrder(t *testing.T) {
 	// Complete in reverse: nothing may flush until cell 0 lands.
 	for i := 3; i >= 0; i-- {
 		l := leases[i]
-		resp := d.complete("w1", l.cell, l.epoch, payload(l.cell), "")
+		resp := d.complete("w1", l.cell, l.epoch, 1, payload(l.cell), "")
 		if !resp.OK || resp.Stale || resp.Duplicate {
 			t.Fatalf("complete cell %d: %+v", l.cell, resp)
 		}
@@ -144,7 +144,7 @@ func TestWindowGatesFreshGrants(t *testing.T) {
 		t.Fatalf("grant beyond window: %+v", resp)
 	}
 	// Completing cell 1 does not move the prefix (0 still open) — still gated.
-	d.complete("w1", c1, e1, payload(1), "")
+	d.complete("w1", c1, e1, 1, payload(1), "")
 	if resp := d.grant("w2", 2); resp.Granted {
 		t.Fatalf("grant while prefix open: %+v", resp)
 	}
@@ -162,18 +162,18 @@ func TestLeaseExpiryRequeuesWithHigherEpoch(t *testing.T) {
 		t.Fatalf("epoch not monotone across requeue: %d then %d", epoch1, epoch2)
 	}
 	// The fenced-off original's completion is stale and must not flush.
-	if resp := d.complete("w1", cell, epoch1, payload(cell), ""); !resp.Stale {
+	if resp := d.complete("w1", cell, epoch1, 1, payload(cell), ""); !resp.Stale {
 		t.Fatalf("stale completion accepted: %+v", resp)
 	}
 	if len(col.snapshot()) != 0 {
 		t.Fatal("stale completion reached the consumer")
 	}
 	// The original's heartbeat answers fenced (self-fence signal).
-	if resp := d.heartbeat("w1", cell, epoch1, 1); !resp.Fenced {
+	if resp := d.heartbeat("w1", cell, epoch1, 1, 1); !resp.Fenced {
 		t.Fatalf("heartbeat on reclaimed lease not fenced: %+v", resp)
 	}
 	// The new lease completes exactly once.
-	if resp := d.complete("w2", cell, epoch2, payload(cell), ""); resp.Stale || resp.Duplicate {
+	if resp := d.complete("w2", cell, epoch2, 1, payload(cell), ""); resp.Stale || resp.Duplicate {
 		t.Fatalf("live completion rejected: %+v", resp)
 	}
 	if got := len(col.snapshot()); got != 1 {
@@ -190,11 +190,11 @@ func TestHeartbeatExtendsLease(t *testing.T) {
 	cell, epoch := mustGrant(t, d, "w1", 1)
 	for i := 0; i < 5; i++ {
 		clk.advance(8 * time.Second) // under TTL each step, far past it in sum
-		if resp := d.heartbeat("w1", cell, epoch, 1); resp.Fenced {
+		if resp := d.heartbeat("w1", cell, epoch, 1, 1); resp.Fenced {
 			t.Fatalf("heartbeat %d fenced a live lease", i)
 		}
 	}
-	if resp := d.complete("w1", cell, epoch, payload(cell), ""); resp.Stale {
+	if resp := d.complete("w1", cell, epoch, 1, payload(cell), ""); resp.Stale {
 		t.Fatal("completion stale despite heartbeats")
 	}
 }
@@ -205,7 +205,7 @@ func TestDisconnectGraceThenReclaim(t *testing.T) {
 	d.dropConn(1)
 	// Within the grace the lease survives: a rejoin heartbeat restores it.
 	clk.advance(time.Second)
-	if resp := d.heartbeat("w1", cell, epoch, 7); resp.Fenced {
+	if resp := d.heartbeat("w1", cell, epoch, 1, 7); resp.Fenced {
 		t.Fatal("rejoin heartbeat within grace was fenced")
 	}
 	// Drop again, let the grace lapse: now the cell is reclaimed.
@@ -228,13 +228,13 @@ func TestSpeculationAndDedupe(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		c, e := mustGrant(t, d, "w-fast", 2)
 		clk.advance(100 * time.Millisecond)
-		d.complete("w-fast", c, e, payload(c), "")
+		d.complete("w-fast", c, e, 1, payload(c), "")
 	}
 	// No pending cells left; idle worker + aged straggler ⇒ speculation.
 	// Keep the straggler's lease alive with a heartbeat first.
-	d.heartbeat("w-slow", strag, stragEpoch, 1)
+	d.heartbeat("w-slow", strag, stragEpoch, 1, 1)
 	clk.advance(5 * time.Second)
-	d.heartbeat("w-slow", strag, stragEpoch, 1)
+	d.heartbeat("w-slow", strag, stragEpoch, 1, 1)
 	resp := d.grant("w-spec", 3)
 	if !resp.Granted || !resp.Speculative || resp.Cell != strag {
 		t.Fatalf("expected speculative duplicate of cell %d, got %+v", strag, resp)
@@ -247,10 +247,10 @@ func TestSpeculationAndDedupe(t *testing.T) {
 		t.Fatalf("third lease granted on one cell: %+v", r2)
 	}
 	// Speculative copy completes first and wins; the straggler dedupes.
-	if r := d.complete("w-spec", strag, resp.Epoch, payload(strag), ""); r.Stale || r.Duplicate {
+	if r := d.complete("w-spec", strag, resp.Epoch, 1, payload(strag), ""); r.Stale || r.Duplicate {
 		t.Fatalf("speculative completion rejected: %+v", r)
 	}
-	if r := d.complete("w-slow", strag, stragEpoch, payload(strag), ""); !r.Duplicate {
+	if r := d.complete("w-slow", strag, stragEpoch, 1, payload(strag), ""); !r.Duplicate {
 		t.Fatalf("original completion not deduped: %+v", r)
 	}
 	if got := len(col.snapshot()); got != 4 {
@@ -277,11 +277,11 @@ func TestCellFailureEndsCampaignAtLowestIndex(t *testing.T) {
 		leases = append(leases, held{c, e})
 	}
 	// Cells 0 and 1 succeed, cell 2 fails, 3–4 complete anyway (in flight).
-	d.complete("w1", 0, leases[0].epoch, payload(0), "")
-	d.complete("w1", 3, leases[3].epoch, payload(3), "")
-	d.complete("w1", 2, leases[2].epoch, nil, "boom")
-	d.complete("w1", 4, leases[4].epoch, payload(4), "")
-	d.complete("w1", 1, leases[1].epoch, payload(1), "")
+	d.complete("w1", 0, leases[0].epoch, 1, payload(0), "")
+	d.complete("w1", 3, leases[3].epoch, 1, payload(3), "")
+	d.complete("w1", 2, leases[2].epoch, 1, nil, "boom")
+	d.complete("w1", 4, leases[4].epoch, 1, payload(4), "")
+	d.complete("w1", 1, leases[1].epoch, 1, payload(1), "")
 
 	err := d.Wait(context.Background())
 	var cerr *parallel.CellError
@@ -311,7 +311,7 @@ func TestConsumeErrorAbortsCampaign(t *testing.T) {
 		t.Fatal(err)
 	}
 	cell, epoch := mustGrant(t, d, "w1", 1)
-	d.complete("w1", cell, epoch, payload(cell), "")
+	d.complete("w1", cell, epoch, 1, payload(cell), "")
 	if got := d.Wait(context.Background()); !errors.Is(got, wantErr) {
 		t.Fatalf("Wait = %v, want consume error", got)
 	}

@@ -45,9 +45,13 @@ type request struct {
 	Op string `json:"op"`
 	// Worker identifies the daemon (stable across reconnects).
 	Worker string `json:"worker,omitempty"`
-	// Cell and Epoch name the lease a heartbeat or completion refers to.
+	// Cell and Epoch name the lease a heartbeat or completion refers to;
+	// Gen is the dispatcher generation the lease was granted under. A
+	// restarted dispatcher bumps its journaled generation, so a message
+	// carrying an older one is from a pre-crash lease and is fenced.
 	Cell  int   `json:"cell"`
 	Epoch int64 `json:"epoch,omitempty"`
+	Gen   int64 `json:"gen,omitempty"`
 	// Progress is the worker's in-cell progress estimate (0..1), carried on
 	// heartbeats for observability.
 	Progress float64 `json:"progress,omitempty"`
@@ -68,6 +72,10 @@ type response struct {
 	Spec        json.RawMessage `json:"spec,omitempty"`
 	LeaseMS     int64           `json:"lease_ms,omitempty"`
 	HeartbeatMS int64           `json:"heartbeat_ms,omitempty"`
+	// Gen is the dispatcher generation, carried on hello and every grant;
+	// workers echo it on heartbeat/complete so a restarted dispatcher can
+	// fence pre-crash leases.
+	Gen int64 `json:"gen,omitempty"`
 	// lease payload. Granted=false with WaitMS set means "nothing leasable
 	// right now, poll again"; Done means the campaign is over and the worker
 	// may exit.
@@ -143,9 +151,45 @@ type Counters struct {
 	// Fenced counts heartbeats answered "your lease is gone".
 	Fenced int64 `json:"fenced"`
 	// Failed counts terminal cell-function failures; Flushed counts results
-	// delivered to the consumer in strict index order.
+	// delivered to the consumer in strict index order (recovered rows
+	// re-emitted on resume included).
 	Failed  int64 `json:"failed"`
 	Flushed int64 `json:"flushed"`
+	// Resumed counts cells recovered from the campaign journal at startup;
+	// StaleGen counts completions and heartbeats fenced because they carried
+	// a pre-restart dispatcher generation; JournalErrors counts failed
+	// journal appends (the campaign continues — a lost record costs a
+	// recompute, never a wrong byte).
+	Resumed       int64 `json:"resumed"`
+	StaleGen      int64 `json:"stale_gen"`
+	JournalErrors int64 `json:"journal_errors"`
+}
+
+// DispatchHealth is the dispatcher's health verb reply, mirroring the
+// mini-slurm and simd health vocabulary: a top-level ok/health plus campaign
+// progress, so an operator (or the chaos test) can ask a live dispatcher how
+// far the campaign is and which generation it is serving.
+type DispatchHealth struct {
+	OK     bool   `json:"ok"`
+	Health string `json:"health"` // ok | draining | done
+	// Generation is the fencing generation (1 for a journal-less or fresh
+	// campaign, +1 per restart).
+	Generation int64 `json:"generation"`
+	// Campaign progress: CellsDone counts terminal DONE cells (recovered
+	// ones included), CellsLeased cells with ≥1 live lease, Flushed the rows
+	// delivered to the consumer in strict order.
+	CellsTotal  int   `json:"cells_total"`
+	CellsDone   int   `json:"cells_done"`
+	CellsLeased int   `json:"cells_leased"`
+	Flushed     int64 `json:"flushed"`
+	// Connections is the number of live worker connections (transient
+	// health/hello probes included while they last).
+	Connections int `json:"connections"`
+	// Journal reports whether the campaign is journaled; ResumedCells and
+	// StaleGen mirror the recovery counters.
+	Journal      bool  `json:"journal"`
+	ResumedCells int64 `json:"resumed_cells"`
+	StaleGen     int64 `json:"stale_gen"`
 }
 
 // fabricVars is the process-wide expvar map ("fabric"); every dispatcher in

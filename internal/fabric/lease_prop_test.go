@@ -122,7 +122,7 @@ func runLeaseInterleaving(t *testing.T, seed uint64, steps int) {
 				continue
 			}
 			l := held[rng.Intn(len(held))]
-			d.complete(l.worker, l.cell, l.epoch, []byte(fmt.Sprintf("v%d", l.cell)), "")
+			d.complete(l.worker, l.cell, l.epoch, 1, []byte(fmt.Sprintf("v%d", l.cell)), "")
 		case 3: // a random held lease heartbeats (rejoin on a fresh conn)
 			if len(held) == 0 {
 				continue
@@ -132,7 +132,7 @@ func runLeaseInterleaving(t *testing.T, seed uint64, steps int) {
 			if rng.Intn(2) == 0 {
 				conn = int64(100 + rng.Intn(100)) // reconnected elsewhere
 			}
-			d.heartbeat(l.worker, l.cell, l.epoch, conn)
+			d.heartbeat(l.worker, l.cell, l.epoch, 1, conn)
 		case 4: // a connection drops abruptly
 			d.dropConn(int64(rng.Intn(workers)))
 		case 5: // duplicate completion of an already-completed lease
@@ -140,7 +140,7 @@ func runLeaseInterleaving(t *testing.T, seed uint64, steps int) {
 				continue
 			}
 			l := held[rng.Intn(len(held))]
-			d.complete(l.worker, l.cell, l.epoch, []byte(fmt.Sprintf("v%d", l.cell)), "")
+			d.complete(l.worker, l.cell, l.epoch, 1, []byte(fmt.Sprintf("v%d", l.cell)), "")
 		}
 		checkMonotone()
 	}
@@ -157,7 +157,7 @@ func runLeaseInterleaving(t *testing.T, seed uint64, steps int) {
 		resp := d.grant("finisher", 999)
 		if resp.Granted {
 			held = append(held, heldLease{"finisher", 999, resp.Cell, resp.Epoch})
-			d.complete("finisher", resp.Cell, resp.Epoch, []byte(fmt.Sprintf("v%d", resp.Cell)), "")
+			d.complete("finisher", resp.Cell, resp.Epoch, 1, []byte(fmt.Sprintf("v%d", resp.Cell)), "")
 		} else if !resp.Done {
 			clk.advance(11 * time.Second) // expire whatever is stuck
 		}
@@ -167,7 +167,7 @@ func runLeaseInterleaving(t *testing.T, seed uint64, steps int) {
 	// Replay every lease's completion once more: all must dedupe or go
 	// stale, none may re-consume.
 	for _, l := range held {
-		resp := d.complete(l.worker, l.cell, l.epoch, []byte(fmt.Sprintf("v%d", l.cell)), "")
+		resp := d.complete(l.worker, l.cell, l.epoch, 1, []byte(fmt.Sprintf("v%d", l.cell)), "")
 		if !resp.Duplicate && !resp.Stale {
 			t.Fatalf("seed %d: post-campaign completion of cell %d epoch %d accepted", seed, l.cell, l.epoch)
 		}

@@ -1,0 +1,480 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/vfs"
+)
+
+func waitUntil(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// listenOn binds d to addr, retrying briefly — a restarted dispatcher takes
+// over the exact address its predecessor served, and the old listener may
+// take a moment to release it.
+func listenOn(t *testing.T, d *Dispatcher, addr string) string {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got, err := d.Listen(addr)
+		if err == nil {
+			return got
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebind %s: %v", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// saveJournalArtifact copies the campaign journal to $FABRIC_JOURNAL_ARTIFACT
+// (CI uploads it alongside the decision log when the chaos test fails).
+func saveJournalArtifact(t *testing.T, path string) {
+	dst := os.Getenv("FABRIC_JOURNAL_ARTIFACT")
+	if dst == "" {
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Logf("journal artifact: %v", err)
+		return
+	}
+	os.WriteFile(dst, data, 0o644)
+}
+
+// noRepairFS blocks Truncate once armed, modelling a dispatcher that dies at
+// the torn append with no chance to roll the tail back — the journal wedges
+// and the torn tail survives on disk for the restart to salvage.
+type noRepairFS struct {
+	vfs.FS
+	armed atomic.Bool
+}
+
+func (f *noRepairFS) Truncate(path string, size int64) error {
+	if f.armed.Load() {
+		return errors.New("injected: crashed before tail repair")
+	}
+	return f.FS.Truncate(path, size)
+}
+
+// TestDispatcherRestartChaos is the tentpole acceptance test: a journaled
+// campaign whose dispatcher is killed mid-flight — after a seeded torn write
+// mid-journal-append via vfs.Faulty — then restarted on the same journal and
+// the same address. The restarted run's output alone must be byte-identical
+// to the sequential golden, with at least one cell resumed from the journal
+// and at least one stale-generation completion fenced.
+//
+// The stale completion is deterministic by construction, not by timing:
+// worker w-stale blocks inside its first cell (huge heartbeat interval, so
+// nothing fences it) across the crash. Its gate is released only after the
+// restarted dispatcher is listening, so its completion — which retries the
+// same request after redial + re-hello — necessarily lands on the new
+// incarnation carrying the old generation.
+func TestDispatcherRestartChaos(t *testing.T) {
+	const n = 40
+	golden := make([][]byte, n)
+	for i := range golden {
+		golden[i] = []byte(fmt.Sprintf("cell-%d:%d", i, i*i))
+	}
+	spec := []byte(`{"kind":"restart-chaos"}`)
+	jpath := filepath.Join(t.TempDir(), "campaign.journal")
+	defer saveJournalArtifact(t, jpath)
+
+	noRepair := &noRepairFS{FS: vfs.OS{}}
+	faulty := vfs.NewFaulty(noRepair, vfs.FaultProfile{Seed: 7})
+
+	mkConfig := func(col *collector, fsys vfs.FS) Config {
+		return Config{
+			Cells:           n,
+			Spec:            spec,
+			Consume:         col.consume,
+			JournalPath:     jpath,
+			FS:              fsys,
+			LeaseTTL:        10 * time.Second,
+			DisconnectGrace: 500 * time.Millisecond,
+			HeartbeatEvery:  100 * time.Millisecond,
+			Window:          64,
+			SpecMinSamples:  1 << 30, // no speculation: only w-stale can run its held cell
+			IdleWaitMS:      10,
+		}
+	}
+
+	col1 := &collector{t: t}
+	d1, err := NewDispatcher(mkConfig(col1, faulty))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := d1.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dumpDecisions(t, d1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// w-stale parks inside its first cell until released; every later
+	// execution (gate closed) returns immediately.
+	var staleCell atomic.Int64
+	staleCell.Store(-1)
+	staleGate := make(chan struct{})
+	wStale, err := NewWorker(WorkerConfig{
+		ID:   "w-stale",
+		Addr: addr,
+		Fn: func(ctx context.Context, cell int, _ func(float64)) ([]byte, error) {
+			if staleCell.CompareAndSwap(-1, int64(cell)) {
+				<-staleGate
+			}
+			return golden[cell], nil
+		},
+		HeartbeatEvery: time.Hour, // never heartbeats: nothing can fence it early
+		RequestTimeout: 2 * time.Second,
+		IdleWait:       20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go wStale.Run(ctx)
+
+	for _, id := range []string{"w0", "w1"} {
+		w, err := NewWorker(WorkerConfig{
+			ID:   id,
+			Addr: addr,
+			Fn: func(ctx context.Context, cell int, _ func(float64)) ([]byte, error) {
+				select {
+				case <-time.After(5 * time.Millisecond):
+				case <-ctx.Done():
+				}
+				return golden[cell], nil
+			},
+			RequestTimeout: 2 * time.Second,
+			IdleWait:       20 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go w.Run(ctx)
+	}
+
+	// Let the campaign make real progress, then inject the seeded crash
+	// point: the next journal append tears mid-write and the armed FS blocks
+	// the rollback, exactly a power loss during the append.
+	waitUntil(t, 30*time.Second, "12 completions under d1", func() bool {
+		return d1.Counters().Completed >= 12
+	})
+	noRepair.armed.Store(true)
+	faulty.TearWrites(1)
+	waitUntil(t, 30*time.Second, "the torn journal append", func() bool {
+		return faulty.Stats().TornWrites >= 1
+	})
+	// The torn append must have been counted, not silently absorbed.
+	waitUntil(t, 5*time.Second, "journal error counter", func() bool {
+		return d1.Counters().JournalErrors >= 1
+	})
+	d1.Close() // the crash: listener gone, workers orphaned mid-lease
+
+	// Restart: same journal, same address, clean storage.
+	col2 := &collector{t: t}
+	d2, err := NewDispatcher(mkConfig(col2, vfs.OS{}))
+	if err != nil {
+		t.Fatalf("restart on journal: %v", err)
+	}
+	defer d2.Close()
+	defer dumpDecisions(t, d2)
+	listenOn(t, d2, addr)
+
+	// Satellite: the health verb, asked over TCP mid-campaign, reports the
+	// bumped generation and the journal-recovered progress.
+	h, err := FetchDispatchHealth(addr, 5*time.Second)
+	if err != nil {
+		t.Fatalf("dispatch health: %v", err)
+	}
+	if !h.OK || h.Generation != 2 || !h.Journal || h.CellsTotal != n {
+		t.Fatalf("health after restart = %+v, want ok gen=2 journal=true cells=%d", h, n)
+	}
+	if h.ResumedCells < 1 {
+		t.Fatalf("health reports %d resumed cells, want ≥1", h.ResumedCells)
+	}
+
+	// Only now may the parked worker finish: its completion carries gen 1
+	// into the gen-2 dispatcher.
+	close(staleGate)
+
+	wctx, wcancel := context.WithTimeout(ctx, 60*time.Second)
+	defer wcancel()
+	if err := d2.Wait(wctx); err != nil {
+		t.Fatalf("restarted campaign failed: %v (counters=%+v)", err, d2.Counters())
+	}
+	waitUntil(t, 30*time.Second, "the fenced stale-generation completion", func() bool {
+		return d2.Counters().StaleGen >= 1
+	})
+
+	// Byte-identical: the restarted run's output alone is the whole grid.
+	rows := col2.snapshot()
+	if len(rows) != n {
+		t.Fatalf("restarted run flushed %d rows, want %d", len(rows), n)
+	}
+	for i, r := range rows {
+		if !bytes.Equal(r, golden[i]) {
+			t.Fatalf("row %d = %q, want %q", i, r, golden[i])
+		}
+	}
+
+	ctrs := d2.Counters()
+	if ctrs.Resumed < 1 {
+		t.Errorf("no cell was resumed from the journal (counters=%+v)", ctrs)
+	}
+	if ctrs.Flushed != n {
+		t.Errorf("flushed %d, want %d", ctrs.Flushed, n)
+	}
+	if d2.Generation() != 2 {
+		t.Errorf("generation = %d, want 2", d2.Generation())
+	}
+	if got := faulty.Stats().TornWrites; got < 1 {
+		t.Errorf("no torn journal append was injected (stats=%+v)", faulty.Stats())
+	}
+	log := strings.Join(d2.Decisions(), "\n")
+	for _, needle := range []string{"resume journal=", "stale-gen cell=", "campaign-done"} {
+		if !strings.Contains(log, needle) {
+			t.Errorf("restarted dispatcher's decision log missing %q", needle)
+		}
+	}
+}
+
+// TestWorkerReconnectsToRestartedDispatcher is the focused satellite: one
+// worker, blocked mid-cell across a dispatcher restart, must re-hello into
+// the new incarnation, have its pre-crash completion fenced as
+// stale-generation, then re-lease the same cell under the new generation and
+// finish the campaign — while the restarted dispatcher re-emits the
+// journal-committed prefix before computing anything.
+func TestWorkerReconnectsToRestartedDispatcher(t *testing.T) {
+	const n, blockCell = 6, 3
+	golden := make([][]byte, n)
+	for i := range golden {
+		golden[i] = []byte(fmt.Sprintf("cell-%d:%d", i, i*i))
+	}
+	spec := []byte(`{"kind":"reconnect-restart"}`)
+	jpath := filepath.Join(t.TempDir(), "campaign.journal")
+
+	mkConfig := func(col *collector) Config {
+		return Config{
+			Cells:       n,
+			Spec:        spec,
+			Consume:     col.consume,
+			JournalPath: jpath,
+			LeaseTTL:    10 * time.Second,
+			Window:      16,
+			IdleWaitMS:  10,
+		}
+	}
+	col1 := &collector{t: t}
+	d1, err := NewDispatcher(mkConfig(col1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := d1.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gate := make(chan struct{})
+	w, err := NewWorker(WorkerConfig{
+		ID:   "wA",
+		Addr: addr,
+		Fn: func(ctx context.Context, cell int, _ func(float64)) ([]byte, error) {
+			if cell == blockCell {
+				<-gate // held across the restart; closed gate passes instantly
+			}
+			return golden[cell], nil
+		},
+		HeartbeatEvery: time.Hour,
+		RequestTimeout: 2 * time.Second,
+		IdleWait:       20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go w.Run(ctx)
+
+	// The single worker leases in index order: 0, 1, 2 complete and journal,
+	// then it parks inside cell 3.
+	waitUntil(t, 30*time.Second, "cells 0–2 flushed and worker parked in cell 3", func() bool {
+		return d1.Counters().Flushed == blockCell && w.Snapshot().LeaseCell == blockCell
+	})
+	if g := w.Snapshot().Generation; g != 1 {
+		t.Fatalf("worker generation before restart = %d, want 1", g)
+	}
+	d1.Close()
+
+	col2 := &collector{t: t}
+	d2, err := NewDispatcher(mkConfig(col2))
+	if err != nil {
+		t.Fatalf("restart on journal: %v", err)
+	}
+	defer d2.Close()
+	defer dumpDecisions(t, d2)
+
+	// Resume re-emitted the committed prefix before any worker connected.
+	if got := col2.snapshot(); len(got) != blockCell {
+		t.Fatalf("restart re-emitted %d rows, want %d", len(got), blockCell)
+	}
+	if got := d2.Counters().Resumed; got != int64(blockCell) {
+		t.Fatalf("resumed %d cells, want %d", got, blockCell)
+	}
+	listenOn(t, d2, addr)
+	close(gate)
+
+	wctx, wcancel := context.WithTimeout(ctx, 30*time.Second)
+	defer wcancel()
+	if err := d2.Wait(wctx); err != nil {
+		t.Fatalf("restarted campaign failed: %v (counters=%+v)", err, d2.Counters())
+	}
+
+	rows := col2.snapshot()
+	if len(rows) != n {
+		t.Fatalf("flushed %d rows, want %d", len(rows), n)
+	}
+	for i, r := range rows {
+		if !bytes.Equal(r, golden[i]) {
+			t.Fatalf("row %d = %q, want %q", i, r, golden[i])
+		}
+	}
+	ctrs := d2.Counters()
+	if ctrs.StaleGen < 1 {
+		t.Errorf("the pre-crash completion was not fenced (counters=%+v)", ctrs)
+	}
+	if ctrs.Completed != int64(n-blockCell) {
+		t.Errorf("restarted run computed %d cells, want %d (prefix must not recompute)",
+			ctrs.Completed, n-blockCell)
+	}
+	waitUntil(t, 10*time.Second, "worker adopting generation 2", func() bool {
+		return w.Snapshot().Generation == 2
+	})
+	if log := strings.Join(d2.Decisions(), "\n"); !strings.Contains(log, fmt.Sprintf("stale-gen cell=%d", blockCell)) {
+		t.Errorf("decision log missing the fenced completion for cell %d", blockCell)
+	}
+}
+
+// TestDrainCheckpointsAndResumes: Drain stops granting, lets in-flight
+// leases land (journaled), ends the campaign with ErrDrained once nothing is
+// leased — and a dispatcher restarted on the journal picks up exactly where
+// the drain stopped. This is what the first SIGINT of sweep's dispatch
+// signal ladder maps to.
+func TestDrainCheckpointsAndResumes(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "drain.journal")
+	d, col, _ := newTestDispatcher(t, 3, func(c *Config) { c.JournalPath = jpath })
+	c0, e0 := mustGrant(t, d, "w1", 1)
+
+	d.Drain()
+	if h := d.Health(); h.Health != "draining" {
+		t.Fatalf("health while draining = %q, want draining", h.Health)
+	}
+	if resp := d.grant("w2", 2); resp.Granted || resp.Done {
+		t.Fatalf("grant while draining = %+v, want a poll-again hint", resp)
+	}
+	if resp := d.complete("w1", c0, e0, 1, payload(c0), ""); !resp.OK || resp.Stale {
+		t.Fatalf("in-flight completion during drain rejected: %+v", resp)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := d.Wait(ctx); !errors.Is(err, ErrDrained) {
+		t.Fatalf("Wait after drain = %v, want ErrDrained", err)
+	}
+	if h := d.Health(); h.Health != "done" {
+		t.Fatalf("health after drain finished = %q, want done", h.Health)
+	}
+	if rows := col.snapshot(); len(rows) != 1 || !bytes.Equal(rows[0], payload(c0)) {
+		t.Fatalf("drained run flushed %d rows, want the one completed cell", len(rows))
+	}
+	d.Close()
+
+	col2 := &collector{t: t}
+	d2, err := NewDispatcher(Config{Cells: 3, Consume: col2.consume, JournalPath: jpath})
+	if err != nil {
+		t.Fatalf("restart on drained journal: %v", err)
+	}
+	defer d2.Close()
+	if d2.Generation() != 2 {
+		t.Errorf("generation after drain restart = %d, want 2", d2.Generation())
+	}
+	if got := d2.Counters().Resumed; got != 1 {
+		t.Errorf("resumed %d cells, want 1", got)
+	}
+	if rows := col2.snapshot(); len(rows) != 1 || !bytes.Equal(rows[0], payload(c0)) {
+		t.Fatalf("restart re-emitted %d rows, want the drained cell", len(rows))
+	}
+	if c, _ := mustGrant(t, d2, "w1", 1); c != 1 {
+		t.Errorf("first grant after drain restart = cell %d, want 1 (cell 0 is recovered)", c)
+	}
+}
+
+// TestDispatchHealthVerbOverTCP exercises the listener-side health verb
+// end-to-end with the FetchDispatchHealth client.
+func TestDispatchHealthVerbOverTCP(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "health.journal")
+	col := &collector{t: t}
+	d, err := NewDispatcher(Config{
+		Cells:       5,
+		Spec:        []byte(`{"kind":"health"}`),
+		Consume:     col.consume,
+		JournalPath: jpath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	addr, err := d.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	h, err := FetchDispatchHealth(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.OK || h.Health != "ok" || h.Generation != 1 || h.CellsTotal != 5 || !h.Journal {
+		t.Fatalf("fresh health = %+v, want ok gen=1 cells=5 journal=true", h)
+	}
+	if h.CellsDone != 0 || h.CellsLeased != 0 {
+		t.Fatalf("fresh health reports progress: %+v", h)
+	}
+
+	c0, e0 := mustGrant(t, d, "w1", 1)
+	h, err = FetchDispatchHealth(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.CellsLeased != 1 {
+		t.Fatalf("health after grant = %+v, want 1 leased cell", h)
+	}
+
+	d.complete("w1", c0, e0, 1, payload(c0), "")
+	d.Drain()
+	h, err = FetchDispatchHealth(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.CellsDone != 1 || h.Flushed != 1 {
+		t.Fatalf("health after completion = %+v, want 1 done / 1 flushed", h)
+	}
+}

@@ -72,6 +72,12 @@ type Worker struct {
 	cellsDone atomic.Int64
 	curCell   atomic.Int64 // -1 while idle
 	curEpoch  atomic.Int64
+	// gen is the dispatcher generation from the most recent hello. A lease
+	// carries the generation it was granted under; if the dispatcher
+	// restarts, the reconnect's hello adopts the new generation while the
+	// in-flight completion still carries the old one — the dispatcher fences
+	// it and the worker re-leases, which is the whole self-fence story.
+	gen atomic.Int64
 }
 
 // NewWorker validates cfg and builds a worker (Run starts it).
@@ -150,7 +156,7 @@ func (w *Worker) Run(ctx context.Context) error {
 			continue
 		}
 		w.fenced.Store(false)
-		w.runCell(ctx, resp.Cell, resp.Epoch)
+		w.runCell(ctx, resp.Cell, resp.Epoch, resp.Gen)
 	}
 }
 
@@ -184,13 +190,14 @@ func (w *Worker) Snapshot() WorkerSnapshot {
 		CellsDone:  w.cellsDone.Load(),
 		LeaseCell:  w.curCell.Load(),
 		LeaseEpoch: w.curEpoch.Load(),
+		Generation: w.gen.Load(),
 	}
 }
 
 // runCell executes one leased cell: heartbeats in the background, the cell
 // function in the foreground, then a completion attempt whose Duplicate or
 // Stale verdict is absorbed silently (someone else won; our work dedupes).
-func (w *Worker) runCell(ctx context.Context, cell int, epoch int64) {
+func (w *Worker) runCell(ctx context.Context, cell int, epoch, gen int64) {
 	w.curCell.Store(int64(cell))
 	w.curEpoch.Store(epoch)
 	defer w.curCell.Store(-1)
@@ -201,7 +208,7 @@ func (w *Worker) runCell(ctx context.Context, cell int, epoch int64) {
 	hbDone := make(chan struct{})
 	go func() {
 		defer close(hbDone)
-		w.heartbeatLoop(cellCtx, cell, epoch, &progress, cancelCell)
+		w.heartbeatLoop(cellCtx, cell, epoch, gen, &progress, cancelCell)
 	}()
 
 	result, err := w.cfg.Fn(cellCtx, cell, progress.store)
@@ -214,7 +221,7 @@ func (w *Worker) runCell(ctx context.Context, cell int, epoch int64) {
 	if w.fenced.Load() {
 		return // lease lost: self-fence, discard the result
 	}
-	req := request{Op: "complete", Worker: w.cfg.ID, Cell: cell, Epoch: epoch, Result: result}
+	req := request{Op: "complete", Worker: w.cfg.ID, Cell: cell, Epoch: epoch, Gen: gen, Result: result}
 	if err != nil {
 		req.Result = nil
 		req.Err = err.Error()
@@ -231,7 +238,7 @@ func (w *Worker) runCell(ctx context.Context, cell int, epoch int64) {
 // heartbeatLoop renews the lease until the cell context ends. A "fenced"
 // answer cancels the cell: the lease is gone, so finishing the work can
 // only produce a stale completion.
-func (w *Worker) heartbeatLoop(ctx context.Context, cell int, epoch int64, progress *atomicFloat, fence func()) {
+func (w *Worker) heartbeatLoop(ctx context.Context, cell int, epoch, gen int64, progress *atomicFloat, fence func()) {
 	every := w.cfg.HeartbeatEvery
 	if every <= 0 {
 		w.connMu.Lock()
@@ -250,7 +257,7 @@ func (w *Worker) heartbeatLoop(ctx context.Context, cell int, epoch int64, progr
 		case <-t.C:
 		}
 		resp, err := w.request(ctx, request{
-			Op: "heartbeat", Worker: w.cfg.ID, Cell: cell, Epoch: epoch,
+			Op: "heartbeat", Worker: w.cfg.ID, Cell: cell, Epoch: epoch, Gen: gen,
 			Progress: progress.load(),
 		})
 		if err != nil {
@@ -339,6 +346,7 @@ func (w *Worker) dialLocked() error {
 		return err
 	}
 	w.hbEvery = time.Duration(resp.HeartbeatMS) * time.Millisecond
+	w.gen.Store(resp.Gen)
 	return nil
 }
 
@@ -404,6 +412,35 @@ func fetchSpecOnce(addr string) ([]byte, int, error) {
 	return resp.Spec, resp.Cells, nil
 }
 
+// FetchDispatchHealth asks a running dispatcher for its health snapshot —
+// campaign progress, generation, connections — the client side of
+// `sweep -dispatch-health`. One shot, no retry: health checks should report
+// an unreachable dispatcher, not paper over it.
+func FetchDispatchHealth(addr string, timeout time.Duration) (DispatchHealth, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return DispatchHealth{}, fmt.Errorf("fabric: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	if err := json.NewEncoder(conn).Encode(request{Op: "health"}); err != nil {
+		return DispatchHealth{}, fmt.Errorf("fabric: send health: %w", err)
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 4096), maxLine)
+	if !sc.Scan() {
+		return DispatchHealth{}, io.ErrUnexpectedEOF
+	}
+	var h DispatchHealth
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+		return DispatchHealth{}, fmt.Errorf("fabric: bad health reply: %w", err)
+	}
+	return h, nil
+}
+
 // sleepFor waits via the policy's own primitive (tests stub it out),
 // falling back to a real sleep.
 func sleepFor(p *slurm.RetryPolicy, d time.Duration) {
@@ -429,6 +466,10 @@ type WorkerSnapshot struct {
 	CellsDone  int64  `json:"cells_done"`
 	LeaseCell  int64  `json:"lease_cell"` // -1 while idle
 	LeaseEpoch int64  `json:"lease_epoch"`
+	// Generation is the dispatcher generation from the loop's last hello; a
+	// bump mid-campaign means the dispatcher restarted and this loop
+	// re-helloed into the new incarnation.
+	Generation int64 `json:"generation"`
 }
 
 // HealthReport is the simd health verb's reply, mini-slurm style: a

@@ -78,6 +78,7 @@ type Faulty struct {
 
 	failSyncs   int // scripted: fail the next n syncs
 	crashWrites int // scripted: crash after n more writes (-1 = off)
+	tearWrites  int // scripted: tear the next n writes
 }
 
 // NewFaulty wraps inner with deterministic fault injection. Each fault
@@ -111,6 +112,15 @@ func (f *Faulty) FailSyncs(n int) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.failSyncs = n
+}
+
+// TearWrites scripts the next n Writes to persist only a prefix (drawn from
+// the torn-write stream) and fail with ErrTornWrite — a power loss at an
+// exact append, on top of the probabilistic profile.
+func (f *Faulty) TearWrites(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.tearWrites = n
 }
 
 // CrashAfterWrites scripts a crash point: the n+1th Write from now fails
@@ -343,7 +353,11 @@ func (ff *faultyFile) Write(p []byte) (int, error) {
 	if ff.fs.crashWrites > 0 {
 		ff.fs.crashWrites--
 	}
-	if ff.fs.profile.TornWriteProb > 0 && ff.fs.torn.Float64() < ff.fs.profile.TornWriteProb {
+	torn := ff.fs.tearWrites > 0
+	if torn {
+		ff.fs.tearWrites--
+	}
+	if torn || (ff.fs.profile.TornWriteProb > 0 && ff.fs.torn.Float64() < ff.fs.profile.TornWriteProb) {
 		ff.fs.stats.TornWrites++
 		n := 0
 		if len(p) > 0 {
