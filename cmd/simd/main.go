@@ -16,15 +16,28 @@
 // (each loop finishes and completes its in-flight cell, says goodbye, and
 // exits); a second signal kills immediately (in-flight work is abandoned to
 // the dispatcher's reclaim machinery). The -health address answers the
-// mini-slurm-style health verb with an ok|draining|fenced status and a
-// fabric section (cells done, current lease, each loop's dispatcher
+// mini-slurm-style health verb with an ok|draining|fenced|quarantined status
+// and a fabric section (cells done, current lease, each loop's dispatcher
 // generation — a mid-campaign bump means the dispatcher restarted).
+//
+// -max-reconnect bounds how many consecutive dead rounds (a full retry
+// budget burned without reaching the dispatcher) the daemon tolerates before
+// exiting nonzero — so a fleet pointed at a permanently dead dispatcher
+// fails cleanly instead of looping forever. 0 (the default) retries forever.
+//
+// -check-health queries another daemon's -health address and exits by
+// status: 0 for ok or draining, 2 if any loop is fenced or quarantined, 1 if
+// the daemon is unreachable — so scripts and fleet supervisors can act on a
+// misbehaving worker from the exit code alone.
 package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
@@ -43,8 +56,15 @@ func main() {
 	health := flag.String("health", "", "serve the health verb on this address (e.g. :7078)")
 	specTimeout := flag.Duration("spec-timeout", time.Minute,
 		"how long to retry fetching the spec from the dispatcher")
+	maxReconnect := flag.Int("max-reconnect", 0,
+		"give up after this many consecutive failed reconnect rounds (0 = retry forever)")
+	checkHealth := flag.String("check-health", "",
+		"query a daemon's -health address and exit by status (0 ok/draining, 2 fenced/quarantined, 1 unreachable)")
 	flag.Parse()
 
+	if *checkHealth != "" {
+		os.Exit(runCheckHealth(*checkHealth, os.Stdout))
+	}
 	if *dispatch == "" {
 		fatal(fmt.Errorf("-dispatch is required"))
 	}
@@ -59,7 +79,7 @@ func main() {
 		*parallel = runtime.NumCPU()
 	}
 
-	d, err := newDaemon(*dispatch, *id, *parallel, *specTimeout)
+	d, err := newDaemon(*dispatch, *id, *parallel, *specTimeout, *maxReconnect)
 	if err != nil {
 		fatal(err)
 	}
@@ -87,9 +107,37 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "simd: %s running %d loops against %s (%d cells)\n",
 		*id, *parallel, *dispatch, d.cells)
-	d.Run(context.Background())
+	runErr := d.Run(context.Background())
 	rep := d.healthReport()
 	fmt.Fprintf(os.Stderr, "simd: done, %d cells completed\n", rep.Fabric.CellsDone)
+	if runErr != nil {
+		// Typically ErrDispatcherUnreachable after the -max-reconnect budget:
+		// a clean nonzero exit a fleet supervisor can see and act on.
+		fatal(runErr)
+	}
+}
+
+// runCheckHealth is the -check-health query mode: fetch another daemon's
+// health verb, print the JSON reply, and translate the status into an exit
+// code scripts can branch on.
+func runCheckHealth(addr string, out io.Writer) int {
+	h, err := fabric.FetchWorkerHealth(addr, 5*time.Second)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simd:", err)
+		return 1
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(h); err != nil {
+		fmt.Fprintln(os.Stderr, "simd:", err)
+		return 1
+	}
+	switch h.Health {
+	case fabric.HealthOK, fabric.HealthDraining:
+		return 0
+	default: // fenced, quarantined, or anything unrecognised: misbehaving
+		return 2
+	}
 }
 
 // daemon is a fleet of worker loops sharing one identity prefix and one
@@ -102,7 +150,7 @@ type daemon struct {
 // newDaemon fetches and validates the spec, then builds (but does not start)
 // the worker loops. A spec the daemon cannot honour — wrong mix name,
 // impossible grid — is rejected here, before any lease is taken.
-func newDaemon(dispatch, id string, parallel int, specTimeout time.Duration) (*daemon, error) {
+func newDaemon(dispatch, id string, parallel int, specTimeout time.Duration, maxReconnect int) (*daemon, error) {
 	raw, cells, err := fabric.FetchSpec(dispatch, specTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("fetch spec: %w", err)
@@ -118,8 +166,9 @@ func newDaemon(dispatch, id string, parallel int, specTimeout time.Duration) (*d
 	d := &daemon{cells: cells}
 	for i := 0; i < parallel; i++ {
 		w, err := fabric.NewWorker(fabric.WorkerConfig{
-			ID:   fmt.Sprintf("%s/%d", id, i),
-			Addr: dispatch,
+			ID:           fmt.Sprintf("%s/%d", id, i),
+			Addr:         dispatch,
+			MaxReconnect: maxReconnect,
 			Fn: func(ctx context.Context, cell int, progress func(float64)) ([]byte, error) {
 				return spec.RunCellBytes(cell)
 			},
@@ -133,17 +182,31 @@ func newDaemon(dispatch, id string, parallel int, specTimeout time.Duration) (*d
 }
 
 // Run drives every loop until the campaign is done, the daemon is killed, or
-// a drain completes.
-func (d *daemon) Run(ctx context.Context) {
+// a drain completes. The first loop error (typically the -max-reconnect
+// budget exhausted against a dead dispatcher) is returned so main can exit
+// nonzero.
+func (d *daemon) Run(ctx context.Context) error {
 	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
 	for _, w := range d.workers {
 		wg.Add(1)
 		go func(w *fabric.Worker) {
 			defer wg.Done()
-			w.Run(ctx)
+			err := w.Run(ctx)
+			if err != nil && !errors.Is(err, context.Canceled) {
+				// A cancelled context is the operator's own kill, not a
+				// failure worth a nonzero exit.
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
 		}(w)
 	}
 	wg.Wait()
+	return firstErr
 }
 
 // Drain lets each loop finish and complete its in-flight cell, then exit.

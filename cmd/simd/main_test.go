@@ -91,7 +91,7 @@ func TestDaemonRunsCampaign(t *testing.T) {
 	spec := testSpec()
 	d, addr, rows := startDispatcher(t, spec)
 
-	dm, err := newDaemon(addr, "test-daemon", 2, 10*time.Second)
+	dm, err := newDaemon(addr, "test-daemon", 2, 10*time.Second, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +150,7 @@ func TestDaemonDrain(t *testing.T) {
 	spec := testSpec()
 	_, addr, _ := startDispatcher(t, spec)
 
-	dm, err := newDaemon(addr, "drain-daemon", 1, 10*time.Second)
+	dm, err := newDaemon(addr, "drain-daemon", 1, 10*time.Second, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +189,43 @@ func TestDaemonRejectsBadSpec(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer d.Close()
-	if _, err := newDaemon(addr, "bad", 1, 5*time.Second); err == nil {
+	if _, err := newDaemon(addr, "bad", 1, 5*time.Second, 0); err == nil {
 		t.Fatal("daemon accepted a spec disagreeing with the advertised cell count")
+	}
+}
+
+// TestRunCheckHealth maps the -check-health query mode's exit codes: 0 for a
+// healthy or draining daemon, 2 for a fenced or quarantined one, 1 when the
+// daemon is unreachable — so supervisors can branch on the code alone.
+func TestRunCheckHealth(t *testing.T) {
+	status := "ok"
+	bound, stop, err := fabric.ServeHealth("127.0.0.1:0", func() fabric.HealthReport {
+		return fabric.HealthReport{OK: true, Health: status}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		health string
+		want   int
+	}{
+		{fabric.HealthOK, 0},
+		{fabric.HealthDraining, 0},
+		{fabric.HealthFenced, 2},
+		{fabric.HealthQuarantined, 2},
+	} {
+		status = tc.health
+		var buf bytes.Buffer
+		if got := runCheckHealth(bound, &buf); got != tc.want {
+			t.Fatalf("check-health(%s) = %d, want %d", tc.health, got, tc.want)
+		}
+		var rep fabric.HealthReport
+		if err := json.Unmarshal(buf.Bytes(), &rep); err != nil || rep.Health != tc.health {
+			t.Fatalf("check-health(%s) printed %q (parse err %v)", tc.health, buf.Bytes(), err)
+		}
+	}
+	stop()
+	if got := runCheckHealth(bound, new(bytes.Buffer)); got != 1 {
+		t.Fatalf("check-health(unreachable) = %d, want 1", got)
 	}
 }

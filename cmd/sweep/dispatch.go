@@ -2,6 +2,8 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -14,11 +16,37 @@ import (
 	"repro/internal/vfs"
 )
 
+// dispatchOpts carries the optional dispatch-mode knobs: decision-log
+// verbosity, the integrity/containment configuration forwarded to the
+// fabric, where to write the poisoned-cell sidecar, and the started hook
+// (which receives the bound address once listening, so tests can dial an
+// ephemeral port).
+type dispatchOpts struct {
+	verbose         bool
+	verifySample    float64
+	verifySeed      uint64
+	poisonAfter     int
+	poisonedSidecar string
+	started         func(string)
+}
+
+// sidecarPath resolves where the poisoned-cell report goes: the explicit
+// flag, else next to the journal, else nowhere (the exit error still names
+// every poisoned cell).
+func (o dispatchOpts) sidecarPath(journal string) string {
+	if o.poisonedSidecar != "" {
+		return o.poisonedSidecar
+	}
+	if journal != "" {
+		return journal + ".poisoned.json"
+	}
+	return ""
+}
+
 // runDispatch serves the grid to simd daemons: sweep becomes the fabric
 // dispatcher and the CSV is reassembled from remotely-computed rows in
 // strict grid order — byte-identical to the local path, because both sides
-// run the same sweepgrid cells and row encoder. started (optional) receives
-// the bound address once listening, so tests can dial an ephemeral port.
+// run the same sweepgrid cells and row encoder.
 //
 // With journal set the campaign is crash-recoverable: accepted rows are
 // journaled, and a dispatcher restarted on the same journal re-emits the
@@ -27,7 +55,12 @@ import (
 // first SIGINT/SIGTERM checkpoints the journal and drains (in-flight cells
 // land, nothing new is granted; Wait returns fabric.ErrDrained), the second
 // kills immediately.
-func runDispatch(cfg config, addr, journal string, out io.Writer, verbose bool, started func(string)) error {
+//
+// A campaign that completes around poisoned cells returns the fabric's
+// *PoisonedError (sweep exits nonzero — the CSV is incomplete) after writing
+// a machine-readable sidecar naming each poisoned cell and why, so an
+// operator can recompute exactly the missing rows.
+func runDispatch(cfg config, addr, journal string, out io.Writer, opts dispatchOpts) error {
 	spec := cfg.spec()
 	specBytes, err := spec.Marshal()
 	if err != nil {
@@ -51,10 +84,13 @@ func runDispatch(cfg config, addr, journal string, out io.Writer, verbose bool, 
 			_, err := out.Write(row)
 			return err
 		},
-		JournalPath: journal,
-		FS:          vfs.OS{},
+		JournalPath:    journal,
+		FS:             vfs.OS{},
+		VerifyFraction: opts.verifySample,
+		VerifySeed:     opts.verifySeed,
+		PoisonAfter:    opts.poisonAfter,
 	}
-	if verbose {
+	if opts.verbose {
 		logger := log.New(os.Stderr, "sweep: ", log.Ltime|log.Lmicroseconds)
 		fcfg.Logf = logger.Printf
 	}
@@ -92,8 +128,33 @@ func runDispatch(cfg config, addr, journal string, out io.Writer, verbose bool, 
 	if err != nil {
 		return err
 	}
-	if started != nil {
-		started(bound)
+	if opts.started != nil {
+		opts.started(bound)
 	}
-	return d.Wait(context.Background())
+	err = d.Wait(context.Background())
+	var perr *fabric.PoisonedError
+	if errors.As(err, &perr) {
+		writePoisonedSidecar(opts.sidecarPath(journal), perr)
+	}
+	return err
+}
+
+// writePoisonedSidecar records which cells the campaign completed around and
+// why, as JSON next to the journal (or wherever -poisoned-sidecar points):
+// the machine-readable companion to the nonzero exit, listing exactly the
+// rows an operator must recompute.
+func writePoisonedSidecar(path string, perr *fabric.PoisonedError) {
+	if path == "" {
+		return
+	}
+	data, err := json.MarshalIndent(perr, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep: encode poisoned sidecar:", err)
+		return
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep: write poisoned sidecar:", err)
+		return
+	}
+	fmt.Fprintln(os.Stderr, "sweep: poisoned-cell report written to", path)
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
@@ -26,8 +27,8 @@ func TestDifferentialDispatch(t *testing.T) {
 	started := make(chan string, 1)
 	dispatchErr := make(chan error, 1)
 	go func() {
-		dispatchErr <- runDispatch(cfg, "127.0.0.1:0", "", &remote, false,
-			func(addr string) { started <- addr })
+		dispatchErr <- runDispatch(cfg, "127.0.0.1:0", "", &remote,
+			dispatchOpts{started: func(addr string) { started <- addr }})
 	}()
 
 	var addr string
@@ -98,8 +99,8 @@ func TestDispatchJournalResume(t *testing.T) {
 	started := make(chan string, 1)
 	dispatchErr := make(chan error, 1)
 	go func() {
-		dispatchErr <- runDispatch(cfg, "127.0.0.1:0", journal, &first, false,
-			func(addr string) { started <- addr })
+		dispatchErr <- runDispatch(cfg, "127.0.0.1:0", journal, &first,
+			dispatchOpts{started: func(addr string) { started <- addr }})
 	}()
 	var addr string
 	select {
@@ -148,7 +149,7 @@ func TestDispatchJournalResume(t *testing.T) {
 	// Second run: same journal, no workers. Every row must come back from
 	// the journal alone, byte-identical.
 	var second bytes.Buffer
-	if err := runDispatch(cfg, "127.0.0.1:0", journal, &second, false, nil); err != nil {
+	if err := runDispatch(cfg, "127.0.0.1:0", journal, &second, dispatchOpts{}); err != nil {
 		t.Fatalf("journal replay: %v", err)
 	}
 	if !bytes.Equal(local, second.Bytes()) {
@@ -165,7 +166,7 @@ func TestDispatchJournalRefusesOtherGrid(t *testing.T) {
 	var out bytes.Buffer
 	done := make(chan error, 1)
 	go func() {
-		done <- runDispatch(cfg, "127.0.0.1:0", journal, &out, false, nil)
+		done <- runDispatch(cfg, "127.0.0.1:0", journal, &out, dispatchOpts{})
 	}()
 	// The journal header+campaign records are written inside NewDispatcher,
 	// before Listen; poll until the file exists, then abandon the campaign.
@@ -185,7 +186,97 @@ func TestDispatchJournalRefusesOtherGrid(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out2 bytes.Buffer
-	if err := runDispatch(other, "127.0.0.1:0", journal, &out2, false, nil); !errors.Is(err, fabric.ErrCampaignMismatch) {
+	if err := runDispatch(other, "127.0.0.1:0", journal, &out2, dispatchOpts{}); !errors.Is(err, fabric.ErrCampaignMismatch) {
 		t.Fatalf("dispatch on foreign journal = %v, want ErrCampaignMismatch", err)
+	}
+}
+
+// TestDispatchPoisonedSidecar is the CLI half of the containment contract: a
+// cell that fails on enough distinct workers is poisoned, the campaign
+// completes around it, runDispatch returns the fabric's *PoisonedError (so
+// sweep exits nonzero), and the machine-readable sidecar lands next to the
+// journal naming exactly the missing cell. Every healthy row still matches
+// the local run byte-for-byte.
+func TestDispatchPoisonedSidecar(t *testing.T) {
+	const badCell = 3
+	cfg := gridConfig(t, 2)
+	local := runToBytes(t, cfg)
+	journal := filepath.Join(t.TempDir(), "grid.journal")
+
+	var remote bytes.Buffer
+	started := make(chan string, 1)
+	dispatchErr := make(chan error, 1)
+	go func() {
+		dispatchErr <- runDispatch(cfg, "127.0.0.1:0", journal, &remote,
+			dispatchOpts{poisonAfter: 2, started: func(addr string) { started <- addr }})
+	}()
+	var addr string
+	select {
+	case addr = <-started:
+	case err := <-dispatchErr:
+		t.Fatalf("dispatcher exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("dispatcher never started listening")
+	}
+
+	raw, _, err := fabric.FetchSpec(addr, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := sweepgrid.DecodeSpec(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	for i := 0; i < 2; i++ {
+		w, err := fabric.NewWorker(fabric.WorkerConfig{
+			ID:   string(rune('a' + i)),
+			Addr: addr,
+			Fn: func(ctx context.Context, cell int, progress func(float64)) ([]byte, error) {
+				if cell == badCell {
+					return nil, errors.New("synthetic: cell is bad on every worker")
+				}
+				return spec.RunCellBytes(cell)
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go w.Run(ctx)
+	}
+
+	var derr error
+	select {
+	case derr = <-dispatchErr:
+	case <-time.After(120 * time.Second):
+		t.Fatal("dispatch campaign did not finish")
+	}
+	var perr *fabric.PoisonedError
+	if !errors.As(derr, &perr) || len(perr.Cells) != 1 || perr.Cells[0].Cell != badCell {
+		t.Fatalf("runDispatch = %v, want *PoisonedError naming cell %d", derr, badCell)
+	}
+
+	// The CSV is the local golden minus exactly the poisoned cell's row
+	// (header is line 0, cell i is line i+1).
+	localLines := bytes.Split(local, []byte("\n"))
+	want := append([][]byte{}, localLines[:badCell+1]...)
+	want = append(want, localLines[badCell+2:]...)
+	if got := remote.Bytes(); !bytes.Equal(got, bytes.Join(want, []byte("\n"))) {
+		t.Fatalf("dispatched output differs from golden-minus-poisoned:\n--- want ---\n%s\n--- got ---\n%s",
+			bytes.Join(want, []byte("\n")), got)
+	}
+
+	// The sidecar defaulted to <journal>.poisoned.json and names the cell.
+	data, err := os.ReadFile(journal + ".poisoned.json")
+	if err != nil {
+		t.Fatalf("poisoned sidecar: %v", err)
+	}
+	var side fabric.PoisonedError
+	if err := json.Unmarshal(data, &side); err != nil {
+		t.Fatalf("sidecar parse: %v (%s)", err, data)
+	}
+	if len(side.Cells) != 1 || side.Cells[0].Cell != badCell || side.Cells[0].Err == "" {
+		t.Fatalf("sidecar = %+v, want cell %d with its error", side, badCell)
 	}
 }

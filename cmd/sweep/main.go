@@ -86,6 +86,14 @@ func main() {
 	dispatchHealth := flag.String("dispatch-health", "",
 		"query a running dispatcher's health at this address, print the JSON reply, and exit")
 	verbose := flag.Bool("verbose", false, "log every lease decision to stderr (dispatch mode)")
+	verifySample := flag.Float64("verify-sample", 0,
+		"fraction of cells to re-execute on a second worker and byte-compare (dispatch mode; 0 disables, 1 verifies every cell; needs ≥2 workers)")
+	verifySeed := flag.Uint64("verify-seed", 0,
+		"seed selecting which cells fall in the verification sample (dispatch mode)")
+	poisonAfter := flag.Int("poison-after", 0,
+		"retire a cell as POISONED after it fails on this many distinct workers (dispatch mode; 0 = fabric default of 3)")
+	poisonedSidecar := flag.String("poisoned-sidecar", "",
+		"where to write the poisoned-cell JSON report (dispatch mode; default <journal>.poisoned.json when -journal is set)")
 	flag.Parse()
 
 	if *dispatchHealth != "" {
@@ -106,8 +114,15 @@ func main() {
 		fatal(err)
 	}
 	if *dispatch != "" {
-		err = runDispatch(cfg, *dispatch, *journal, os.Stdout, *verbose, func(addr string) {
-			fmt.Fprintln(os.Stderr, "sweep: dispatching grid on", addr)
+		err = runDispatch(cfg, *dispatch, *journal, os.Stdout, dispatchOpts{
+			verbose:         *verbose,
+			verifySample:    *verifySample,
+			verifySeed:      *verifySeed,
+			poisonAfter:     *poisonAfter,
+			poisonedSidecar: *poisonedSidecar,
+			started: func(addr string) {
+				fmt.Fprintln(os.Stderr, "sweep: dispatching grid on", addr)
+			},
 		})
 		if errors.Is(err, fabric.ErrDrained) {
 			// A drained campaign is a clean, resumable stop, not a failure.

@@ -91,11 +91,11 @@ func TestGridHammerRace(t *testing.T) {
 
 func TestValidateRejectsBadFlags(t *testing.T) {
 	cases := []struct {
-		name                  string
-		policies, loads       string
-		seeds, nodes, jobs    int
-		mix                   string
-		scale                 float64
+		name               string
+		policies, loads    string
+		seeds, nodes, jobs int
+		mix                string
+		scale              float64
 	}{
 		{"trailing comma in policies", "easy,", "1.0", 1, 8, 10, "trinity", 0.05},
 		{"duplicate comma in policies", "easy,,sharebackfill", "1.0", 1, 8, 10, "trinity", 0.05},

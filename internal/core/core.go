@@ -198,6 +198,18 @@ func (s *System) build(spec JobSpec) (*job.Job, error) {
 	}, nil
 }
 
+// SyncNextJobID fast-forwards the automatic job-ID counter so the next
+// spec-built submission is assigned exactly id (it never rewinds). Journal
+// replay and HA apply use it: the authoritative ID travels with the
+// operation, and the live counter may legitimately be ahead of the log — a
+// submit whose journal append failed burns an ID that no journaled entry
+// accounts for.
+func (s *System) SyncNextJobID(id cluster.JobID) {
+	if id-1 > s.nextID {
+		s.nextID = id - 1
+	}
+}
+
 // Run executes the simulation to completion.
 func (s *System) Run() { s.engine.RunAll() }
 

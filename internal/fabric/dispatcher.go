@@ -12,7 +12,6 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/parallel"
 	"repro/internal/vfs"
 )
 
@@ -61,6 +60,31 @@ type Config struct {
 	// (default 100).
 	IdleWaitMS int64
 
+	// Integrity & containment policy (DESIGN §14). PoisonAfter is how many
+	// distinct workers a cell must fail on before it is POISONED (default 3);
+	// MaxCellRetries is the absolute failure cap regardless of distinctness
+	// (default 8); RetryBackoff is the base of the exponential requeue delay
+	// after a failure (default 250ms, doubling per failure, capped at
+	// LeaseTTL).
+	PoisonAfter    int
+	MaxCellRetries int
+	RetryBackoff   time.Duration
+	// QuarantineAfter is the strike score that fences a worker off the
+	// campaign (default 3; integrity violations charge the whole threshold at
+	// once). QuarantineCooldown, when >0, readmits a quarantined worker after
+	// that long (default 0 = quarantine is permanent for the campaign).
+	QuarantineAfter    int
+	QuarantineCooldown time.Duration
+	// VerifyFraction draws a deterministic sample of cells (0..1, default 0 =
+	// off) for redundant verification: each sampled cell is executed on two
+	// distinct workers and byte-compared before acceptance, catching workers
+	// that compute wrong bytes under a correct checksum. VerifySeed selects
+	// the sample. Divergence re-executes on a third worker; the odd worker
+	// out is quarantined. Meaningful only with ≥2 (for the sample) and ≥3
+	// (for divergence resolution) live workers.
+	VerifyFraction float64
+	VerifySeed     uint64
+
 	// JournalPath, when set, makes the campaign crash-recoverable: every
 	// accepted completion is appended to a CRC32C-framed journal, and a
 	// dispatcher restarted on the same path resumes — recovered cells are
@@ -102,6 +126,15 @@ type cellRec struct {
 	state  cellState
 	epoch  int64
 	leases []leaseRec
+	// Retry budget: failures counts cell-function errors, failedWorkers the
+	// distinct workers they came from, notBefore gates the next grant behind
+	// the exponential requeue backoff.
+	failures      int
+	failedWorkers map[string]bool
+	notBefore     time.Time
+	// verify holds the redundant-verification candidates while the cell is in
+	// the sampled double-execution protocol (nil otherwise).
+	verify *verifyState
 }
 
 // ErrClosed is returned by Wait when the dispatcher is closed before the
@@ -119,22 +152,23 @@ type Dispatcher struct {
 	cfg Config
 	now func() time.Time // injectable for deterministic lease tests
 
-	mu         sync.Mutex
-	cells      []cellRec
-	pending    intHeap // min-heap of grantable indices (lazy deletion)
-	samples    []float64
-	buffer     map[int][]byte // done but not yet flushed (bounded by Window)
-	nextFlush  int
-	failedAt   int // lowest FAILED index, -1 while none
-	failedErr  error
-	done       bool
-	draining   bool
-	finalErr   error
-	doneCh     chan struct{}
-	counters   Counters
-	decisions  []string
-	jr         *CampaignJournal
-	generation int64
+	mu           sync.Mutex
+	cells        []cellRec
+	pending      intHeap // min-heap of grantable indices (lazy deletion)
+	samples      []float64
+	buffer       map[int][]byte // done but not yet flushed (bounded by Window)
+	nextFlush    int
+	workers      map[string]*workerRec // strike/quarantine records
+	poisonedErrs map[int]string        // POISONED cell → last error
+	specSHAHex   string                // campaign identity, bound into completion checksums
+	done         bool
+	draining     bool
+	finalErr     error
+	doneCh       chan struct{}
+	counters     Counters
+	decisions    []string
+	jr           *CampaignJournal
+	generation   int64
 
 	ln      net.Listener
 	conns   map[net.Conn]int64
@@ -176,6 +210,24 @@ func NewDispatcher(cfg Config) (*Dispatcher, error) {
 	if cfg.IdleWaitMS <= 0 {
 		cfg.IdleWaitMS = 100
 	}
+	if cfg.PoisonAfter <= 0 {
+		cfg.PoisonAfter = 3
+	}
+	if cfg.MaxCellRetries <= 0 {
+		cfg.MaxCellRetries = 8
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 250 * time.Millisecond
+	}
+	if cfg.QuarantineAfter <= 0 {
+		cfg.QuarantineAfter = 3
+	}
+	if cfg.VerifyFraction < 0 {
+		cfg.VerifyFraction = 0
+	}
+	if cfg.VerifyFraction > 1 {
+		cfg.VerifyFraction = 1
+	}
 	if cfg.ReadTimeout <= 0 {
 		cfg.ReadTimeout = 5 * time.Minute
 	}
@@ -183,14 +235,16 @@ func NewDispatcher(cfg Config) (*Dispatcher, error) {
 		cfg.WriteTimeout = 30 * time.Second
 	}
 	d := &Dispatcher{
-		cfg:        cfg,
-		now:        time.Now,
-		cells:      make([]cellRec, cfg.Cells),
-		buffer:     make(map[int][]byte),
-		failedAt:   -1,
-		doneCh:     make(chan struct{}),
-		conns:      make(map[net.Conn]int64),
-		generation: 1,
+		cfg:          cfg,
+		now:          time.Now,
+		cells:        make([]cellRec, cfg.Cells),
+		buffer:       make(map[int][]byte),
+		workers:      make(map[string]*workerRec),
+		poisonedErrs: make(map[int]string),
+		specSHAHex:   specSHA(cfg.Spec),
+		doneCh:       make(chan struct{}),
+		conns:        make(map[net.Conn]int64),
+		generation:   1,
 	}
 	if cfg.JournalPath != "" {
 		if err := d.openJournal(); err != nil {
@@ -230,8 +284,27 @@ func (d *Dispatcher) openJournal() error {
 		d.cells[i].state = stateDone
 		d.buffer[i] = row
 	}
-	d.logLocked("resume journal=%s gen=%d recovered=%d salvaged_bytes=%d",
-		d.cfg.JournalPath, d.generation, len(rec.Rows), rec.SalvagedBytes)
+	// Containment state survives the restart: POISONED cells stay terminal
+	// (the flush skips them below exactly as the pre-crash dispatcher did),
+	// and quarantined workers stay fenced — a hostile worker cannot launder
+	// its record by crashing the dispatcher. The cooldown clock, when
+	// configured, restarts at resume time.
+	for cell, errStr := range rec.Poisoned {
+		d.cells[cell].state = statePoisoned
+		d.poisonedErrs[cell] = errStr
+		d.logLocked("resume-poison cell=%d err=%q", cell, errStr)
+	}
+	for id, reason := range rec.Quarantined {
+		d.workers[id] = &workerRec{
+			strikes:       d.cfg.QuarantineAfter,
+			quarantined:   true,
+			quarantinedAt: d.now(),
+			reason:        reason,
+		}
+		d.logLocked("resume-quarantine worker=%s reason=%s", id, reason)
+	}
+	d.logLocked("resume journal=%s gen=%d recovered=%d poisoned=%d quarantined=%d salvaged_bytes=%d",
+		d.cfg.JournalPath, d.generation, len(rec.Rows), len(rec.Poisoned), len(rec.Quarantined), rec.SalvagedBytes)
 	d.flushLocked()
 	d.checkDoneLocked()
 	return nil
@@ -366,15 +439,17 @@ func (d *Dispatcher) Health() DispatchHealth {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	h := DispatchHealth{
-		OK:           true,
-		Health:       "ok",
-		Generation:   d.generation,
-		CellsTotal:   len(d.cells),
-		Flushed:      int64(d.nextFlush),
-		Connections:  len(d.conns),
-		Journal:      d.cfg.JournalPath != "",
-		ResumedCells: d.counters.Resumed,
-		StaleGen:     d.counters.StaleGen,
+		OK:              true,
+		Health:          "ok",
+		Generation:      d.generation,
+		CellsTotal:      len(d.cells),
+		Flushed:         int64(d.nextFlush),
+		Connections:     len(d.conns),
+		Journal:         d.cfg.JournalPath != "",
+		ResumedCells:    d.counters.Resumed,
+		StaleGen:        d.counters.StaleGen,
+		Failed:          d.counters.Failed,
+		ChecksumRejects: d.counters.ChecksumRejects,
 	}
 	for i := range d.cells {
 		switch d.cells[i].state {
@@ -382,8 +457,13 @@ func (d *Dispatcher) Health() DispatchHealth {
 			h.CellsDone++
 		case stateLeased:
 			h.CellsLeased++
+		case statePoisoned:
+			h.PoisonedCells = append(h.PoisonedCells, i)
 		}
 	}
+	h.Poisoned = int64(len(h.PoisonedCells))
+	h.Quarantined = d.quarantinedWorkersLocked()
+	h.QuarantinedWorkers = int64(len(h.Quarantined))
 	if d.draining {
 		h.Health = "draining"
 	}
@@ -467,9 +547,9 @@ func (d *Dispatcher) serveConn(conn net.Conn, id int64) {
 		if !sc.Scan() {
 			return
 		}
-		var req request
+		req, err := decodeRequest(sc.Bytes())
 		var out any
-		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+		if err != nil {
 			out = response{Error: fmt.Sprintf("bad request: %v", err)}
 		} else if req.Op == "health" {
 			// The health verb answers with the richer DispatchHealth shape,
@@ -494,7 +574,7 @@ func (d *Dispatcher) handle(req request, connID int64) response {
 	case "heartbeat":
 		return d.heartbeat(req.Worker, req.Cell, req.Epoch, req.Gen, connID)
 	case "complete":
-		return d.complete(req.Worker, req.Cell, req.Epoch, req.Gen, req.Result, req.Err)
+		return d.complete(req.Worker, req.Cell, req.Epoch, req.Gen, req.Result, req.Sum, req.Err)
 	case "goodbye":
 		return d.goodbye(req.Worker, connID)
 	default:
@@ -532,25 +612,39 @@ func (d *Dispatcher) grant(worker string, connID int64) response {
 	if d.done {
 		return response{OK: true, Done: true}
 	}
+	if d.quarantinedLocked(worker) {
+		// Fenced off the campaign: no leases until the cooldown (if any)
+		// releases. The worker idle-polls rather than exiting — readmission
+		// is possible.
+		return response{OK: true, Quarantined: true, WaitMS: d.cfg.IdleWaitMS}
+	}
 	if d.draining {
 		// Drain: nothing new is granted; in-flight completions still land.
 		return response{OK: true, WaitMS: d.cfg.IdleWaitMS}
 	}
-	// Fresh cell: lowest pending index, gated by the window and — after a
-	// recorded failure — by the doomed-suffix cap (cells above the lowest
-	// failed index can never be delivered; stop burning workers on them).
+	// Fresh cell: lowest pending index, gated by the window. Cells inside
+	// their failure backoff, and verify-sampled cells this worker already
+	// executed, are skipped for now and re-queued on the way out.
+	now := d.now()
+	var deferred []int
+	defer func() {
+		for _, idx := range deferred {
+			heap.Push(&d.pending, idx)
+		}
+	}()
 	for len(d.pending) > 0 {
 		idx := d.pending[0]
-		if d.failedAt >= 0 && idx > d.failedAt {
-			heap.Pop(&d.pending)
-			continue
-		}
 		if idx >= d.nextFlush+d.cfg.Window {
 			break // window full: completing the prefix is the only way forward
 		}
 		heap.Pop(&d.pending)
-		if d.cells[idx].state != statePending {
+		c := &d.cells[idx]
+		if c.state != statePending {
 			continue // lazily deleted (was re-leased or completed meanwhile)
+		}
+		if c.notBefore.After(now) || c.verifyContributor(worker) {
+			deferred = append(deferred, idx)
+			continue
 		}
 		return d.grantCellLocked(idx, worker, connID, false)
 	}
@@ -601,15 +695,12 @@ func (d *Dispatcher) speculationTargetLocked(worker string) (int, bool) {
 		hi = len(d.cells)
 	}
 	for idx := d.nextFlush; idx < hi; idx++ {
-		if d.failedAt >= 0 && idx > d.failedAt {
-			break
-		}
 		c := &d.cells[idx]
 		if c.state != stateLeased || len(c.leases) != 1 {
 			continue
 		}
 		l := c.leases[0]
-		if l.worker == worker {
+		if l.worker == worker || c.verifyContributor(worker) {
 			continue
 		}
 		if now.Sub(l.started).Seconds() > threshold {
@@ -637,6 +728,11 @@ func (d *Dispatcher) sweepExpiredLocked() {
 	if hi > len(d.cells) {
 		hi = len(d.cells)
 	}
+	// Strikes are applied after the sweep: a strike can tip a worker into
+	// quarantine, which walks and edits the lease table itself — re-entering
+	// that mid-sweep would corrupt the slice being filtered.
+	type strikeNote struct{ worker, cause string }
+	var strikes []strikeNote
 	for idx := d.nextFlush; idx < hi; idx++ {
 		c := &d.cells[idx]
 		if c.state != stateLeased {
@@ -658,6 +754,7 @@ func (d *Dispatcher) sweepExpiredLocked() {
 				fabricVars().Add("requeue_expiry", 1)
 			}
 			d.logLocked("reclaim cell=%d epoch=%d worker=%s cause=%s", idx, l.epoch, l.worker, cause)
+			strikes = append(strikes, strikeNote{worker: l.worker, cause: "lease-" + cause})
 		}
 		c.leases = kept
 		if len(c.leases) == 0 {
@@ -667,6 +764,12 @@ func (d *Dispatcher) sweepExpiredLocked() {
 			fabricVars().Add("requeues", 1)
 			d.logLocked("requeue cell=%d next_epoch=%d", idx, c.epoch+1)
 		}
+	}
+	for _, s := range strikes {
+		// Losing a lease to expiry or disconnect is one strike: an isolated
+		// hiccup decays on the next accepted completion, a crash-looping or
+		// hung worker accumulates its way into quarantine.
+		d.strikeLocked(s.worker, s.cause, 1)
 	}
 	d.maybeFinishDrainLocked()
 }
@@ -696,7 +799,7 @@ func (d *Dispatcher) heartbeat(worker string, cell int, epoch, gen, connID int64
 		return response{OK: true, Fenced: true}
 	}
 	c := &d.cells[cell]
-	if c.state == stateDone || c.state == stateFailed {
+	if c.state == stateDone || c.state == statePoisoned {
 		return response{OK: true, Done: d.done}
 	}
 	for i := range c.leases {
@@ -714,11 +817,14 @@ func (d *Dispatcher) heartbeat(worker string, cell int, epoch, gen, connID int64
 	return response{OK: true, Fenced: true}
 }
 
-// complete records one cell result. First-result-wins: the first completion
-// holding a live lease is accepted and flushed; completions for done cells
-// dedupe; completions whose lease was reclaimed or superseded are stale and
-// discarded (the cell's surviving lease, or the requeue queue, owns it).
-func (d *Dispatcher) complete(worker string, cell int, epoch, gen int64, result []byte, errStr string) response {
+// complete records one cell result. The integrity gate comes first: a
+// completion whose checksum does not cover its payload is rejected before
+// dedup, before lease matching, before reassembly — a corrupted row must
+// never win first-result-wins. Then first-result-wins: the first
+// checksum-valid completion holding a live lease is accepted and flushed;
+// completions for done cells dedupe; completions whose lease was reclaimed
+// or superseded are stale and discarded.
+func (d *Dispatcher) complete(worker string, cell int, epoch, gen int64, result []byte, sum uint32, errStr string) response {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if cell < 0 || cell >= len(d.cells) {
@@ -736,9 +842,19 @@ func (d *Dispatcher) complete(worker string, cell int, epoch, gen int64, result 
 			cell, epoch, worker, gen, d.generation)
 		return response{OK: true, Stale: true, Done: d.done}
 	}
+	if errStr == "" {
+		if want := completionSum(d.specSHAHex, cell, result); want != sum {
+			d.counters.ChecksumRejects++
+			fabricVars().Add("checksum_rejects", 1)
+			d.logLocked("checksum-reject cell=%d epoch=%d worker=%s sum=%08x want=%08x",
+				cell, epoch, worker, sum, want)
+			d.strikeLocked(worker, "checksum-reject", d.cfg.QuarantineAfter)
+			return response{OK: true, Rejected: true, Done: d.done}
+		}
+	}
 	c := &d.cells[cell]
 	switch {
-	case c.state == stateDone || c.state == stateFailed:
+	case c.state == stateDone || c.state == statePoisoned:
 		d.counters.Deduped++
 		fabricVars().Add("deduped", 1)
 		d.logLocked("dedupe cell=%d epoch=%d worker=%s", cell, epoch, worker)
@@ -747,35 +863,21 @@ func (d *Dispatcher) complete(worker string, cell int, epoch, gen int64, result 
 		li := d.leaseIndexLocked(c, worker, epoch)
 		l := c.leases[li]
 		if errStr != "" {
-			c.state = stateFailed
-			c.leases = nil
-			d.counters.Failed++
-			fabricVars().Add("failed", 1)
-			if d.failedAt < 0 || cell < d.failedAt {
-				d.failedAt = cell
-				d.failedErr = errors.New(errStr)
-			}
-			d.logLocked("fail cell=%d epoch=%d worker=%s err=%q", cell, epoch, worker, errStr)
-			d.checkDoneLocked()
-			d.maybeFinishDrainLocked()
+			d.failLeaseLocked(cell, li, worker, errStr)
 			return response{OK: true, Done: d.done}
 		}
+		if d.verifySampled(cell) {
+			return d.verifyAcceptLocked(cell, li, worker, result)
+		}
 		d.samples = append(d.samples, d.now().Sub(l.started).Seconds())
-		c.state = stateDone
-		c.leases = nil
-		d.journalCellLocked(cell, result)
-		d.counters.Completed++
-		fabricVars().Add("completed", 1)
+		d.rewardLocked(worker)
 		if l.speculative {
 			d.counters.SpeculativeWins++
 			fabricVars().Add("speculative_wins", 1)
 			d.logLocked("speculative-win cell=%d epoch=%d worker=%s", cell, epoch, worker)
 		}
 		d.logLocked("complete cell=%d epoch=%d worker=%s", cell, epoch, worker)
-		d.buffer[cell] = result
-		d.flushLocked()
-		d.checkDoneLocked()
-		d.maybeFinishDrainLocked()
+		d.acceptCellLocked(cell, result)
 		return response{OK: true, Done: d.done}
 	default:
 		d.counters.Stale++
@@ -783,6 +885,22 @@ func (d *Dispatcher) complete(worker string, cell int, epoch, gen int64, result 
 		d.logLocked("stale cell=%d epoch=%d worker=%s current_epoch=%d", cell, epoch, worker, c.epoch)
 		return response{OK: true, Stale: true}
 	}
+}
+
+// acceptCellLocked commits one verified row: terminal DONE, journaled,
+// buffered into the reassembly window, flushed as far as the prefix allows.
+func (d *Dispatcher) acceptCellLocked(cell int, result []byte) {
+	c := &d.cells[cell]
+	c.state = stateDone
+	c.leases = nil
+	c.verify = nil
+	d.journalCellLocked(cell, result)
+	d.counters.Completed++
+	fabricVars().Add("completed", 1)
+	d.buffer[cell] = result
+	d.flushLocked()
+	d.checkDoneLocked()
+	d.maybeFinishDrainLocked()
 }
 
 func (d *Dispatcher) leaseIndexLocked(c *cellRec, worker string, epoch int64) int {
@@ -838,9 +956,16 @@ func (d *Dispatcher) releaseConnLocked(connID int64, grace time.Duration) {
 	d.sweepExpiredLocked()
 }
 
-// flushLocked delivers the completed prefix in strict index order.
+// flushLocked delivers the completed prefix in strict index order. POISONED
+// cells are skipped — the prefix advances past them with no Consume call,
+// because the campaign completes around a poisoned cell and the final error
+// names it.
 func (d *Dispatcher) flushLocked() {
-	for {
+	for d.nextFlush < len(d.cells) {
+		if d.cells[d.nextFlush].state == statePoisoned {
+			d.nextFlush++
+			continue
+		}
 		res, ok := d.buffer[d.nextFlush]
 		if !ok {
 			return
@@ -857,15 +982,10 @@ func (d *Dispatcher) flushLocked() {
 	}
 }
 
-// checkDoneLocked ends the campaign when the flush prefix covers the grid,
-// or reaches the lowest failed cell (everything below it was delivered; the
-// suffix can never be).
+// checkDoneLocked ends the campaign when the flush prefix covers the grid
+// (poisoned cells included — flushLocked advances past them).
 func (d *Dispatcher) checkDoneLocked() {
 	if d.done {
-		return
-	}
-	if d.failedAt >= 0 && d.nextFlush >= d.failedAt {
-		d.finishLocked(&parallel.CellError{Index: d.failedAt, Err: d.failedErr})
 		return
 	}
 	if d.nextFlush >= len(d.cells) {
@@ -876,6 +996,15 @@ func (d *Dispatcher) checkDoneLocked() {
 func (d *Dispatcher) finishLocked(err error) {
 	if d.done {
 		return
+	}
+	if err == nil {
+		// A campaign that completed around poisoned cells delivered every
+		// healthy row but is still incomplete: surface that as a typed error
+		// the CLI can turn into a sidecar and a nonzero exit. Drains and
+		// consume failures keep their own errors.
+		if pc := d.poisonedCellsLocked(); len(pc) > 0 {
+			err = &PoisonedError{Cells: pc}
+		}
 	}
 	d.done = true
 	d.finalErr = err

@@ -8,8 +8,6 @@ import (
 	"sync"
 	"testing"
 	"time"
-
-	"repro/internal/parallel"
 )
 
 // fakeClock is a hand-cranked clock for driving lease deadlines without
@@ -96,6 +94,12 @@ func mustGrant(t *testing.T, d *Dispatcher, worker string, conn int64) (cell int
 	return resp.Cell, resp.Epoch
 }
 
+// complete submits a completion carrying the checksum a faithful worker would
+// attach, so in-process tests exercise the post-verification paths.
+func complete(d *Dispatcher, worker string, cell int, epoch, gen int64, row []byte, errStr string) response {
+	return d.complete(worker, cell, epoch, gen, row, completionSum(d.specSHAHex, cell, row), errStr)
+}
+
 func TestGrantCompleteFlushInOrder(t *testing.T) {
 	d, col, _ := newTestDispatcher(t, 4, nil)
 	type held struct {
@@ -110,7 +114,7 @@ func TestGrantCompleteFlushInOrder(t *testing.T) {
 	// Complete in reverse: nothing may flush until cell 0 lands.
 	for i := 3; i >= 0; i-- {
 		l := leases[i]
-		resp := d.complete("w1", l.cell, l.epoch, 1, payload(l.cell), "")
+		resp := complete(d, "w1", l.cell, l.epoch, 1, payload(l.cell), "")
 		if !resp.OK || resp.Stale || resp.Duplicate {
 			t.Fatalf("complete cell %d: %+v", l.cell, resp)
 		}
@@ -144,7 +148,7 @@ func TestWindowGatesFreshGrants(t *testing.T) {
 		t.Fatalf("grant beyond window: %+v", resp)
 	}
 	// Completing cell 1 does not move the prefix (0 still open) — still gated.
-	d.complete("w1", c1, e1, 1, payload(1), "")
+	complete(d, "w1", c1, e1, 1, payload(1), "")
 	if resp := d.grant("w2", 2); resp.Granted {
 		t.Fatalf("grant while prefix open: %+v", resp)
 	}
@@ -162,7 +166,7 @@ func TestLeaseExpiryRequeuesWithHigherEpoch(t *testing.T) {
 		t.Fatalf("epoch not monotone across requeue: %d then %d", epoch1, epoch2)
 	}
 	// The fenced-off original's completion is stale and must not flush.
-	if resp := d.complete("w1", cell, epoch1, 1, payload(cell), ""); !resp.Stale {
+	if resp := complete(d, "w1", cell, epoch1, 1, payload(cell), ""); !resp.Stale {
 		t.Fatalf("stale completion accepted: %+v", resp)
 	}
 	if len(col.snapshot()) != 0 {
@@ -173,7 +177,7 @@ func TestLeaseExpiryRequeuesWithHigherEpoch(t *testing.T) {
 		t.Fatalf("heartbeat on reclaimed lease not fenced: %+v", resp)
 	}
 	// The new lease completes exactly once.
-	if resp := d.complete("w2", cell, epoch2, 1, payload(cell), ""); resp.Stale || resp.Duplicate {
+	if resp := complete(d, "w2", cell, epoch2, 1, payload(cell), ""); resp.Stale || resp.Duplicate {
 		t.Fatalf("live completion rejected: %+v", resp)
 	}
 	if got := len(col.snapshot()); got != 1 {
@@ -194,7 +198,7 @@ func TestHeartbeatExtendsLease(t *testing.T) {
 			t.Fatalf("heartbeat %d fenced a live lease", i)
 		}
 	}
-	if resp := d.complete("w1", cell, epoch, 1, payload(cell), ""); resp.Stale {
+	if resp := complete(d, "w1", cell, epoch, 1, payload(cell), ""); resp.Stale {
 		t.Fatal("completion stale despite heartbeats")
 	}
 }
@@ -228,7 +232,7 @@ func TestSpeculationAndDedupe(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		c, e := mustGrant(t, d, "w-fast", 2)
 		clk.advance(100 * time.Millisecond)
-		d.complete("w-fast", c, e, 1, payload(c), "")
+		complete(d, "w-fast", c, e, 1, payload(c), "")
 	}
 	// No pending cells left; idle worker + aged straggler ⇒ speculation.
 	// Keep the straggler's lease alive with a heartbeat first.
@@ -247,10 +251,10 @@ func TestSpeculationAndDedupe(t *testing.T) {
 		t.Fatalf("third lease granted on one cell: %+v", r2)
 	}
 	// Speculative copy completes first and wins; the straggler dedupes.
-	if r := d.complete("w-spec", strag, resp.Epoch, 1, payload(strag), ""); r.Stale || r.Duplicate {
+	if r := complete(d, "w-spec", strag, resp.Epoch, 1, payload(strag), ""); r.Stale || r.Duplicate {
 		t.Fatalf("speculative completion rejected: %+v", r)
 	}
-	if r := d.complete("w-slow", strag, stragEpoch, 1, payload(strag), ""); !r.Duplicate {
+	if r := complete(d, "w-slow", strag, stragEpoch, 1, payload(strag), ""); !r.Duplicate {
 		t.Fatalf("original completion not deduped: %+v", r)
 	}
 	if got := len(col.snapshot()); got != 4 {
@@ -265,39 +269,105 @@ func TestSpeculationAndDedupe(t *testing.T) {
 	}
 }
 
-func TestCellFailureEndsCampaignAtLowestIndex(t *testing.T) {
-	d, col, _ := newTestDispatcher(t, 5, nil)
-	type held struct {
-		cell  int
-		epoch int64
+// TestCellFailurePoisonsAfterDistinctWorkers drives one cell through failures
+// on PoisonAfter distinct workers and checks the campaign completes around it:
+// every healthy row is delivered in order, the poisoned index is omitted, and
+// Wait reports the gap as a *PoisonedError instead of a hard failure.
+func TestCellFailurePoisonsAfterDistinctWorkers(t *testing.T) {
+	var mu sync.Mutex
+	var flushed []int
+	d, _, clk := newTestDispatcher(t, 5, func(c *Config) {
+		c.PoisonAfter = 2
+		c.QuarantineAfter = 100 // keep failing workers leasable for this test
+		c.RetryBackoff = time.Millisecond
+		// The shared collector demands gapless indices; this campaign
+		// legitimately skips the poisoned cell, so record indices instead.
+		c.Consume = func(i int, res []byte) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if len(flushed) > 0 && i <= flushed[len(flushed)-1] {
+				t.Errorf("consume out of order: %d after %d", i, flushed[len(flushed)-1])
+			}
+			flushed = append(flushed, i)
+			return nil
+		}
+	})
+	// Cell 0 fails on two distinct workers; between attempts the retry
+	// backoff must lapse before the cell is grantable again.
+	c0, e0 := mustGrant(t, d, "w1", 1)
+	if c0 != 0 {
+		t.Fatalf("first grant = cell %d, want 0", c0)
 	}
-	var leases []held
-	for i := 0; i < 5; i++ {
+	complete(d, "w1", c0, e0, 1, nil, "boom")
+	clk.advance(10 * time.Millisecond)
+	c0b, e0b := mustGrant(t, d, "w2", 2)
+	if c0b != 0 || e0b <= e0 {
+		t.Fatalf("requeued grant = cell %d epoch %d, want cell 0 epoch > %d", c0b, e0b, e0)
+	}
+	complete(d, "w2", c0b, e0b, 1, nil, "boom again")
+
+	// The rest of the grid completes normally around the poisoned cell.
+	for i := 1; i < 5; i++ {
 		c, e := mustGrant(t, d, "w1", 1)
-		leases = append(leases, held{c, e})
+		if c != i {
+			t.Fatalf("grant = cell %d, want %d", c, i)
+		}
+		complete(d, "w1", c, e, 1, payload(c), "")
 	}
-	// Cells 0 and 1 succeed, cell 2 fails, 3–4 complete anyway (in flight).
-	d.complete("w1", 0, leases[0].epoch, 1, payload(0), "")
-	d.complete("w1", 3, leases[3].epoch, 1, payload(3), "")
-	d.complete("w1", 2, leases[2].epoch, 1, nil, "boom")
-	d.complete("w1", 4, leases[4].epoch, 1, payload(4), "")
-	d.complete("w1", 1, leases[1].epoch, 1, payload(1), "")
 
 	err := d.Wait(context.Background())
-	var cerr *parallel.CellError
-	if !errors.As(err, &cerr) || cerr.Index != 2 {
-		t.Fatalf("Wait = %v, want CellError at index 2", err)
+	var perr *PoisonedError
+	if !errors.As(err, &perr) {
+		t.Fatalf("Wait = %v, want *PoisonedError", err)
 	}
-	rows := col.snapshot()
-	if len(rows) != 2 {
-		t.Fatalf("flushed %d rows, want exactly the prefix below the failure (2)", len(rows))
+	if len(perr.Cells) != 1 || perr.Cells[0].Cell != 0 {
+		t.Fatalf("poisoned cells = %+v, want exactly cell 0", perr.Cells)
 	}
-	// After the failure no new grants appear above the failed index.
-	if resp := d.grant("w2", 2); resp.Granted {
-		t.Fatalf("grant after campaign end: %+v", resp)
+	// Output skips the poisoned index but keeps every other row in order.
+	mu.Lock()
+	got := append([]int(nil), flushed...)
+	mu.Unlock()
+	if len(got) != 4 || got[0] != 1 {
+		t.Fatalf("flushed indices %v, want [1 2 3 4] (poisoned cell omitted)", got)
 	}
-	if !d.grant("w2", 2).Done {
+	ctrs := d.Counters()
+	if ctrs.Failed != 2 || ctrs.Poisoned != 1 {
+		t.Fatalf("Failed=%d Poisoned=%d, want 2 and 1 (counters %+v)", ctrs.Failed, ctrs.Poisoned, ctrs)
+	}
+	h := d.Health()
+	if h.Poisoned != 1 || len(h.PoisonedCells) != 1 || h.PoisonedCells[0] != 0 {
+		t.Fatalf("health poison view = %+v", h)
+	}
+	if !d.grant("w3", 3).Done {
 		t.Fatal("lease response does not tell workers the campaign is done")
+	}
+}
+
+// TestRepeatFailuresOnOneWorkerHitRetryCap checks the absolute retry cap: a
+// cell failing over and over on the same worker cannot dodge poisoning by
+// never reaching PoisonAfter distinct workers.
+func TestRepeatFailuresOnOneWorkerHitRetryCap(t *testing.T) {
+	d, _, clk := newTestDispatcher(t, 1, func(c *Config) {
+		c.PoisonAfter = 3
+		c.MaxCellRetries = 4
+		c.QuarantineAfter = 100
+		c.RetryBackoff = time.Millisecond
+	})
+	for i := 0; i < 4; i++ {
+		clk.advance(time.Second) // clear any retry backoff
+		c, e := mustGrant(t, d, "w1", 1)
+		if c != 0 {
+			t.Fatalf("attempt %d granted cell %d, want 0", i, c)
+		}
+		complete(d, "w1", c, e, 1, nil, "flaky")
+	}
+	err := d.Wait(context.Background())
+	var perr *PoisonedError
+	if !errors.As(err, &perr) || len(perr.Cells) != 1 {
+		t.Fatalf("Wait = %v, want single-cell *PoisonedError", err)
+	}
+	if got := d.Counters().CellRetries; got != 3 {
+		t.Fatalf("CellRetries = %d, want 3 (4th failure poisons instead of requeueing)", got)
 	}
 }
 
@@ -311,7 +381,7 @@ func TestConsumeErrorAbortsCampaign(t *testing.T) {
 		t.Fatal(err)
 	}
 	cell, epoch := mustGrant(t, d, "w1", 1)
-	d.complete("w1", cell, epoch, 1, payload(cell), "")
+	complete(d, "w1", cell, epoch, 1, payload(cell), "")
 	if got := d.Wait(context.Background()); !errors.Is(got, wantErr) {
 		t.Fatalf("Wait = %v, want consume error", got)
 	}

@@ -57,6 +57,13 @@ type request struct {
 	Progress float64 `json:"progress,omitempty"`
 	// Result is the completed cell's opaque payload (base64 on the wire).
 	Result []byte `json:"result,omitempty"`
+	// Sum is the end-to-end completion checksum: CRC32C over (campaign spec
+	// SHA-256, cell index, result bytes), computed by the worker the moment
+	// the cell function returns. The dispatcher recomputes it before dedup
+	// and reassembly — a payload corrupted anywhere between computation and
+	// acceptance (worker memory, serialization, transport) is rejected
+	// instead of winning first-result-wins.
+	Sum uint32 `json:"sum,omitempty"`
 	// Err reports a cell that failed deterministically (the cell function
 	// returned an error — not a transport problem, which is never reported).
 	Err string `json:"err,omitempty"`
@@ -91,6 +98,15 @@ type response struct {
 	Fenced    bool `json:"fenced,omitempty"`
 	Duplicate bool `json:"duplicate,omitempty"`
 	Stale     bool `json:"stale,omitempty"`
+	// Rejected marks a completion thrown away because its checksum did not
+	// match its payload — an integrity violation, counted and struck against
+	// the sender.
+	Rejected bool `json:"rejected,omitempty"`
+	// Quarantined on a lease reply tells the worker it is fenced off the
+	// whole campaign: no leases will be granted until the cooldown (if any)
+	// releases it. The worker should idle-poll, not exit — a cooldown release
+	// or operator action may readmit it.
+	Quarantined bool `json:"quarantined,omitempty"`
 }
 
 // maxLine bounds one protocol line (a completed cell's payload rides in it).
@@ -108,9 +124,12 @@ const (
 	// stateDone: a completion was accepted; terminal. Further completions
 	// dedupe.
 	stateDone
-	// stateFailed: the cell function itself failed; terminal. The campaign
-	// ends once the flush prefix reaches the lowest failed index.
-	stateFailed
+	// statePoisoned: the cell function failed on enough distinct workers (or
+	// exhausted its retry budget) that the cell itself is the problem;
+	// terminal. The campaign completes around it — the cell is journaled like
+	// a DONE cell, skipped by the flush, and reported in the PoisonedError
+	// the campaign ends with.
+	statePoisoned
 )
 
 func (s cellState) String() string {
@@ -121,8 +140,8 @@ func (s cellState) String() string {
 		return "LEASED"
 	case stateDone:
 		return "DONE"
-	case stateFailed:
-		return "FAILED"
+	case statePoisoned:
+		return "POISONED"
 	}
 	return "?"
 }
@@ -150,10 +169,29 @@ type Counters struct {
 	Stale   int64 `json:"stale"`
 	// Fenced counts heartbeats answered "your lease is gone".
 	Fenced int64 `json:"fenced"`
-	// Failed counts terminal cell-function failures; Flushed counts results
-	// delivered to the consumer in strict index order (recovered rows
-	// re-emitted on resume included).
-	Failed  int64 `json:"failed"`
+	// Failed counts cell-function failures (each costs a retry from the
+	// cell's budget); CellRetries the requeues those failures caused;
+	// Poisoned the cells that exhausted the budget and went terminal.
+	Failed      int64 `json:"failed"`
+	CellRetries int64 `json:"cell_retries"`
+	Poisoned    int64 `json:"poisoned"`
+	// ChecksumRejects counts completions thrown away because the end-to-end
+	// CRC32C did not match the payload — corruption between the worker's
+	// computation and the dispatcher's acceptance.
+	ChecksumRejects int64 `json:"checksum_rejects"`
+	// QuarantinedWorkers counts workers fenced off the campaign by strikes
+	// (integrity violations, repeated lease expiries, crash loops, verify
+	// divergence); QuarantineReleases the cooldown readmissions.
+	QuarantinedWorkers int64 `json:"quarantined_workers"`
+	QuarantineReleases int64 `json:"quarantine_releases"`
+	// VerifySampled counts cells drawn into redundant verification;
+	// VerifyMatches the byte-identical agreements; VerifyDivergence the
+	// disagreements (each costs a tie-breaking third execution).
+	VerifySampled    int64 `json:"verify_sampled"`
+	VerifyMatches    int64 `json:"verify_matches"`
+	VerifyDivergence int64 `json:"verify_divergence"`
+	// Flushed counts results delivered to the consumer in strict index order
+	// (recovered rows re-emitted on resume included).
 	Flushed int64 `json:"flushed"`
 	// Resumed counts cells recovered from the campaign journal at startup;
 	// StaleGen counts completions and heartbeats fenced because they carried
@@ -190,6 +228,16 @@ type DispatchHealth struct {
 	Journal      bool  `json:"journal"`
 	ResumedCells int64 `json:"resumed_cells"`
 	StaleGen     int64 `json:"stale_gen"`
+	// Integrity & containment: cell-function failures so far, terminal
+	// poisoned cells (and their indices), checksum-rejected completions, and
+	// quarantined workers (count and IDs) — the counters an operator triages
+	// a misbehaving fleet by.
+	Failed             int64    `json:"failed"`
+	Poisoned           int64    `json:"poisoned"`
+	PoisonedCells      []int    `json:"poisoned_cells,omitempty"`
+	ChecksumRejects    int64    `json:"checksum_rejects"`
+	QuarantinedWorkers int64    `json:"quarantined_workers"`
+	Quarantined        []string `json:"quarantined,omitempty"`
 }
 
 // fabricVars is the process-wide expvar map ("fabric"); every dispatcher in

@@ -66,15 +66,22 @@ var campaignCastagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // journalRecord is one framed payload. Kind selects which fields are live.
 type journalRecord struct {
-	Kind string `json:"kind"` // campaign | gen | cell
+	Kind string `json:"kind"` // campaign | gen | cell | poison | quarantine | unquarantine
 	// campaign fields.
 	Cells   int    `json:"cells,omitempty"`
 	SpecSHA string `json:"spec_sha,omitempty"`
 	// gen field: the dispatcher incarnation this record opens.
 	Gen int64 `json:"gen,omitempty"`
-	// cell fields: one accepted completion.
+	// cell fields: one accepted completion. poison shares Cell and adds Err —
+	// the cell-function error that exhausted the retry budget.
 	Cell int    `json:"cell"`
 	Row  []byte `json:"row,omitempty"`
+	Err  string `json:"err,omitempty"`
+	// quarantine/unquarantine fields: the worker fenced off the campaign (or
+	// readmitted by cooldown), why, and at what strike score.
+	Worker  string `json:"worker,omitempty"`
+	Reason  string `json:"reason,omitempty"`
+	Strikes int    `json:"strikes,omitempty"`
 }
 
 // Recovery is what replaying a campaign journal yielded.
@@ -87,6 +94,12 @@ type Recovery struct {
 	Gen int64
 	// Rows maps recovered cell index → row bytes.
 	Rows map[int][]byte
+	// Poisoned maps terminal POISONED cell index → the cell-function error
+	// that retired it; Quarantined maps fenced worker ID → the offence. Both
+	// survive restarts so a hostile worker cannot launder its record (nor a
+	// bad cell its budget) by crashing the dispatcher.
+	Poisoned    map[int]string
+	Quarantined map[string]string
 	// SalvagedBytes is how many torn-tail bytes were truncated away.
 	SalvagedBytes int64
 }
@@ -193,33 +206,50 @@ func OpenCampaignJournal(fsys vfs.FS, path string, spec []byte, cells int) (*Cam
 func (j *CampaignJournal) Generation() int64 { return j.gen }
 
 // AppendCell records one accepted completion. Unsynced: a crash may lose the
-// tail, costing only a recompute (see the durability policy above). A failed
-// append self-heals by truncating back to the last committed offset — a torn
-// write may have persisted part of the frame, and leaving it there ahead of
-// later records would read as mid-log corruption instead of a torn tail. If
-// the rollback fails too, the journal wedges: nothing more is written, the
-// committed prefix (plus one salvageable torn tail) is what survives.
+// tail, costing only a recompute (see the durability policy above).
 func (j *CampaignJournal) AppendCell(cell int, row []byte) error {
-	if j.wedged {
-		return fmt.Errorf("fabric: journal cell %d: %w", cell, errJournalWedged)
+	return j.appendRecord(journalRecord{Kind: "cell", Cell: cell, Row: row}, false)
+}
+
+// appendRecord frames and appends one record, optionally fsyncing it.
+// Containment records (poison, quarantine, unquarantine) are synced — they
+// are rare and load-bearing across restarts, where losing one would un-fence
+// a hostile worker or reopen a poisoned cell's budget. A failed append
+// self-heals by truncating back to the last committed offset — a torn write
+// may have persisted part of the frame, and leaving it there ahead of later
+// records would read as mid-log corruption instead of a torn tail. If the
+// rollback fails too, the journal wedges: nothing more is written, the
+// committed prefix (plus one salvageable torn tail) is what survives.
+func (j *CampaignJournal) appendRecord(rec journalRecord, sync bool) error {
+	what := rec.Kind
+	if rec.Kind == "cell" {
+		what = fmt.Sprintf("cell %d", rec.Cell)
 	}
-	frame := appendCampaignFrame(nil, journalRecord{Kind: "cell", Cell: cell, Row: row})
+	if j.wedged {
+		return fmt.Errorf("fabric: journal %s: %w", what, errJournalWedged)
+	}
+	frame := appendCampaignFrame(nil, rec)
 	if _, err := j.f.Write(frame); err != nil {
 		j.f.Close()
 		j.f = nil
 		if terr := j.fs.Truncate(j.path, j.off); terr != nil {
 			j.wedged = true
-			return fmt.Errorf("fabric: journal cell %d: %w (rollback failed: %v; journal wedged)", cell, err, terr)
+			return fmt.Errorf("fabric: journal %s: %w (rollback failed: %v; journal wedged)", what, err, terr)
 		}
 		f, oerr := j.fs.OpenAppend(j.path)
 		if oerr != nil {
 			j.wedged = true
-			return fmt.Errorf("fabric: journal cell %d: %w (reopen failed: %v; journal wedged)", cell, err, oerr)
+			return fmt.Errorf("fabric: journal %s: %w (reopen failed: %v; journal wedged)", what, err, oerr)
 		}
 		j.f = f
-		return fmt.Errorf("fabric: journal cell %d: %w", cell, err)
+		return fmt.Errorf("fabric: journal %s: %w", what, err)
 	}
 	j.off += int64(len(frame))
+	if sync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("fabric: sync journal %s: %w", what, err)
+		}
+	}
 	return nil
 }
 
@@ -255,6 +285,8 @@ type parsedJournal struct {
 func parseCampaignJournal(data, spec []byte, cells int) (parsedJournal, error) {
 	var p parsedJournal
 	p.Rows = make(map[int][]byte)
+	p.Poisoned = make(map[int]string)
+	p.Quarantined = make(map[string]string)
 	lines := splitJournalLines(data)
 	if len(lines) == 0 || string(lines[0].text) != campaignHeader || !lines[0].terminated {
 		// Nothing committed: a crash while writing the very first bytes left
@@ -308,7 +340,31 @@ func parseCampaignJournal(data, spec []byte, cells int) (parsedJournal, error) {
 			if _, dup := p.Rows[rec.Cell]; dup {
 				return p, fmt.Errorf("%w: duplicate record for cell %d at line %d", ErrJournalCorrupt, rec.Cell, lineNo)
 			}
+			if _, poisoned := p.Poisoned[rec.Cell]; poisoned {
+				return p, fmt.Errorf("%w: cell %d completed after being poisoned at line %d", ErrJournalCorrupt, rec.Cell, lineNo)
+			}
 			p.Rows[rec.Cell] = rec.Row
+		case "poison":
+			if rec.Cell < 0 || rec.Cell >= cells {
+				return p, fmt.Errorf("%w: poisoned cell %d out of range at line %d", ErrJournalCorrupt, rec.Cell, lineNo)
+			}
+			if _, done := p.Rows[rec.Cell]; done {
+				return p, fmt.Errorf("%w: cell %d poisoned after completing at line %d", ErrJournalCorrupt, rec.Cell, lineNo)
+			}
+			if _, dup := p.Poisoned[rec.Cell]; dup {
+				return p, fmt.Errorf("%w: duplicate poison record for cell %d at line %d", ErrJournalCorrupt, rec.Cell, lineNo)
+			}
+			p.Poisoned[rec.Cell] = rec.Err
+		case "quarantine":
+			if rec.Worker == "" {
+				return p, fmt.Errorf("%w: quarantine record without a worker at line %d", ErrJournalCorrupt, lineNo)
+			}
+			p.Quarantined[rec.Worker] = rec.Reason
+		case "unquarantine":
+			if rec.Worker == "" {
+				return p, fmt.Errorf("%w: unquarantine record without a worker at line %d", ErrJournalCorrupt, lineNo)
+			}
+			delete(p.Quarantined, rec.Worker)
 		default:
 			return p, fmt.Errorf("%w: unknown record kind %q at line %d", ErrJournalCorrupt, rec.Kind, lineNo)
 		}
@@ -327,7 +383,11 @@ func parseCampaignJournal(data, spec []byte, cells int) (parsedJournal, error) {
 	if !sawCampaign || p.Gen == 0 {
 		// Header survived but the campaign/gen records did not commit: nothing
 		// to honour, reinitialize.
-		return parsedJournal{Recovery: Recovery{Rows: make(map[int][]byte)}}, nil
+		return parsedJournal{Recovery: Recovery{
+			Rows:        make(map[int][]byte),
+			Poisoned:    make(map[int]string),
+			Quarantined: make(map[string]string),
+		}}, nil
 	}
 	p.Resumed = true
 	return p, nil

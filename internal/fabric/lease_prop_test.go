@@ -99,7 +99,7 @@ func runLeaseInterleaving(t *testing.T, seed uint64, steps int) {
 			if len(d.cells[i].leases) > 2 {
 				t.Fatalf("seed %d: cell %d carries %d concurrent leases", seed, i, len(d.cells[i].leases))
 			}
-			if (d.cells[i].state == stateDone || d.cells[i].state == stateFailed) && len(d.cells[i].leases) != 0 {
+			if (d.cells[i].state == stateDone || d.cells[i].state == statePoisoned) && len(d.cells[i].leases) != 0 {
 				t.Fatalf("seed %d: terminal cell %d still holds leases", seed, i)
 			}
 		}
@@ -122,7 +122,7 @@ func runLeaseInterleaving(t *testing.T, seed uint64, steps int) {
 				continue
 			}
 			l := held[rng.Intn(len(held))]
-			d.complete(l.worker, l.cell, l.epoch, 1, []byte(fmt.Sprintf("v%d", l.cell)), "")
+			complete(d, l.worker, l.cell, l.epoch, 1, []byte(fmt.Sprintf("v%d", l.cell)), "")
 		case 3: // a random held lease heartbeats (rejoin on a fresh conn)
 			if len(held) == 0 {
 				continue
@@ -140,7 +140,7 @@ func runLeaseInterleaving(t *testing.T, seed uint64, steps int) {
 				continue
 			}
 			l := held[rng.Intn(len(held))]
-			d.complete(l.worker, l.cell, l.epoch, 1, []byte(fmt.Sprintf("v%d", l.cell)), "")
+			complete(d, l.worker, l.cell, l.epoch, 1, []byte(fmt.Sprintf("v%d", l.cell)), "")
 		}
 		checkMonotone()
 	}
@@ -157,7 +157,7 @@ func runLeaseInterleaving(t *testing.T, seed uint64, steps int) {
 		resp := d.grant("finisher", 999)
 		if resp.Granted {
 			held = append(held, heldLease{"finisher", 999, resp.Cell, resp.Epoch})
-			d.complete("finisher", resp.Cell, resp.Epoch, 1, []byte(fmt.Sprintf("v%d", resp.Cell)), "")
+			complete(d, "finisher", resp.Cell, resp.Epoch, 1, []byte(fmt.Sprintf("v%d", resp.Cell)), "")
 		} else if !resp.Done {
 			clk.advance(11 * time.Second) // expire whatever is stuck
 		}
@@ -167,7 +167,7 @@ func runLeaseInterleaving(t *testing.T, seed uint64, steps int) {
 	// Replay every lease's completion once more: all must dedupe or go
 	// stale, none may re-consume.
 	for _, l := range held {
-		resp := d.complete(l.worker, l.cell, l.epoch, 1, []byte(fmt.Sprintf("v%d", l.cell)), "")
+		resp := complete(d, l.worker, l.cell, l.epoch, 1, []byte(fmt.Sprintf("v%d", l.cell)), "")
 		if !resp.Duplicate && !resp.Stale {
 			t.Fatalf("seed %d: post-campaign completion of cell %d epoch %d accepted", seed, l.cell, l.epoch)
 		}

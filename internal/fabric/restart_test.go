@@ -391,7 +391,7 @@ func TestDrainCheckpointsAndResumes(t *testing.T) {
 	if resp := d.grant("w2", 2); resp.Granted || resp.Done {
 		t.Fatalf("grant while draining = %+v, want a poll-again hint", resp)
 	}
-	if resp := d.complete("w1", c0, e0, 1, payload(c0), ""); !resp.OK || resp.Stale {
+	if resp := complete(d, "w1", c0, e0, 1, payload(c0), ""); !resp.OK || resp.Stale {
 		t.Fatalf("in-flight completion during drain rejected: %+v", resp)
 	}
 
@@ -468,7 +468,7 @@ func TestDispatchHealthVerbOverTCP(t *testing.T) {
 		t.Fatalf("health after grant = %+v, want 1 leased cell", h)
 	}
 
-	d.complete("w1", c0, e0, 1, payload(c0), "")
+	complete(d, "w1", c0, e0, 1, payload(c0), "")
 	d.Drain()
 	h, err = FetchDispatchHealth(addr, 2*time.Second)
 	if err != nil {

@@ -1,0 +1,85 @@
+package fabric
+
+// Fuzz coverage for the wire-protocol decoders: any byte sequence — hostile,
+// truncated, or deeply nested — must come back as (value, nil) or (zero,
+// error), never a panic, and an accepted frame must respect every bound the
+// decoder promises (op vocabulary, payload caps, non-negative campaign
+// shape). `go test -run=Fuzz -fuzz=FuzzDecodeRequest` explores further; the
+// seeded corpus below runs on every plain `go test`.
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func FuzzDecodeRequest(f *testing.F) {
+	seeds := []string{
+		`{"op":"hello","worker":"w1"}`,
+		`{"op":"lease","worker":"w1"}`,
+		`{"op":"complete","worker":"w1","cell":3,"epoch":2,"gen":1,"result":"aGk=","sum":12345}`,
+		`{"op":"complete","cell":-1,"epoch":-9223372036854775808}`,
+		`{"op":"heartbeat","cell":99999999999}`,
+		`{"op":"nonsense"}`,
+		`{"op":""}`,
+		`{}`,
+		``,
+		`not json at all`,
+		`{"op":"complete","result":"` + strings.Repeat("A", 64) + `"}`,
+		`[1,2,3]`,
+		`{"op":"hello","worker":"` + strings.Repeat("x", 300) + `"}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, line []byte) {
+		req, err := decodeRequest(line)
+		if err != nil {
+			return
+		}
+		if !knownOp(req.Op) {
+			t.Fatalf("accepted unknown op %q", req.Op)
+		}
+		if len(req.Result) > maxResultBytes {
+			t.Fatalf("accepted %d-byte result past the %d cap", len(req.Result), maxResultBytes)
+		}
+		if len(line) > maxLine {
+			t.Fatalf("accepted %d-byte line past the %d cap", len(line), maxLine)
+		}
+	})
+}
+
+func FuzzDecodeResponse(f *testing.F) {
+	seeds := []string{
+		`{"ok":true,"granted":true,"cell":5,"epoch":1,"gen":2}`,
+		`{"ok":true,"cells":48,"lease_ms":3000,"heartbeat_ms":300,"spec":{"kind":"x"}}`,
+		`{"ok":true,"cells":-1}`,
+		`{"ok":true,"lease_ms":-5}`,
+		`{"ok":true,"quarantined":true,"wait_ms":25}`,
+		`{"ok":false,"error":"nope"}`,
+		`{"done":true}`,
+		``,
+		`{"spec":"not an object`,
+		`{"ok":true,"wait_ms":-9223372036854775808}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, line []byte) {
+		resp, err := decodeResponse(line)
+		if err != nil {
+			return
+		}
+		if resp.Cells < 0 || resp.LeaseMS < 0 || resp.HeartbeatMS < 0 || resp.WaitMS < 0 {
+			t.Fatalf("accepted negative campaign shape: %+v", resp)
+		}
+		if len(resp.Spec) > maxLine {
+			t.Fatalf("accepted %d-byte spec past the %d cap", len(resp.Spec), maxLine)
+		}
+		// An accepted spec must round-trip: the worker hashes these bytes as
+		// the campaign identity, so they must at least be valid JSON when set.
+		if len(resp.Spec) > 0 && !json.Valid(resp.Spec) {
+			t.Fatalf("accepted non-JSON spec %q", resp.Spec)
+		}
+	})
+}

@@ -43,14 +43,25 @@ type WorkerConfig struct {
 	// IdleWait caps how long the worker sleeps when the dispatcher has
 	// nothing leasable (default 200ms; the dispatcher's hint may be shorter).
 	IdleWait time.Duration
+	// MaxReconnect bounds how many consecutive lease rounds may exhaust the
+	// whole retry budget before Run gives up with ErrDispatcherUnreachable
+	// (0 = keep trying forever — the PR 6 behavior). A permanently dead
+	// dispatcher then produces a clean nonzero exit instead of an immortal
+	// retry loop; rounds that reach the dispatcher reset the count.
+	MaxReconnect int
 }
 
 // Worker health states, mirroring the mini-slurm health vocabulary.
 const (
-	HealthOK       = "ok"
-	HealthDraining = "draining"
-	HealthFenced   = "fenced"
+	HealthOK          = "ok"
+	HealthDraining    = "draining"
+	HealthFenced      = "fenced"
+	HealthQuarantined = "quarantined"
 )
+
+// ErrDispatcherUnreachable is returned by Run when MaxReconnect consecutive
+// lease rounds failed to reach the dispatcher at all.
+var ErrDispatcherUnreachable = errors.New("fabric: dispatcher unreachable")
 
 // Worker is one lease-execute-complete loop against a dispatcher.
 type Worker struct {
@@ -64,14 +75,19 @@ type Worker struct {
 	sc      *bufio.Scanner
 	enc     *json.Encoder
 	hbEvery time.Duration
+	// specSHAHex is the campaign identity from the last hello, bound into
+	// every completion checksum so the dispatcher can verify the payload it
+	// receives is the payload this worker computed, for this campaign.
+	specSHAHex string
 
-	cancel    context.CancelFunc
-	draining  atomic.Bool
-	killed    atomic.Bool
-	fenced    atomic.Bool
-	cellsDone atomic.Int64
-	curCell   atomic.Int64 // -1 while idle
-	curEpoch  atomic.Int64
+	cancel      context.CancelFunc
+	draining    atomic.Bool
+	killed      atomic.Bool
+	fenced      atomic.Bool
+	quarantined atomic.Bool
+	cellsDone   atomic.Int64
+	curCell     atomic.Int64 // -1 while idle
+	curEpoch    atomic.Int64
 	// gen is the dispatcher generation from the most recent hello. A lease
 	// carries the generation it was granted under; if the dispatcher
 	// restarts, the reconnect's hello adopts the new generation while the
@@ -124,6 +140,7 @@ func (w *Worker) Run(ctx context.Context) error {
 	ctx, w.cancel = context.WithCancel(ctx)
 	defer w.cancel()
 	defer w.closeConn()
+	failedRounds := 0
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -134,17 +151,38 @@ func (w *Worker) Run(ctx context.Context) error {
 		}
 		resp, err := w.request(ctx, request{Op: "lease", Worker: w.cfg.ID})
 		if err != nil {
-			// Retry budget exhausted (long partition). Keep trying for as
-			// long as we are asked to exist — the dispatcher reclaims our
-			// leases meanwhile, so patience costs nothing but this worker.
+			// A whole retry budget burned without reaching the dispatcher
+			// (long partition, or it is simply gone). With MaxReconnect set,
+			// give up after that many consecutive dead rounds — a permanently
+			// dead dispatcher should produce a clean failure, not an immortal
+			// loop. Between rounds the backoff is the policy's capped,
+			// jittered delay, so a fleet waiting out the same outage does not
+			// stampede the moment it ends.
+			failedRounds++
+			if w.cfg.MaxReconnect > 0 && failedRounds >= w.cfg.MaxReconnect {
+				return fmt.Errorf("%w: %s after %d reconnect rounds: %v",
+					ErrDispatcherUnreachable, w.cfg.Addr, failedRounds, err)
+			}
+			if !w.sleepCtx(ctx, w.cfg.Retry.Delay(failedRounds-1, 0)) {
+				return ctx.Err()
+			}
+			continue
+		}
+		failedRounds = 0
+		if resp.Done {
+			return nil
+		}
+		if resp.Quarantined {
+			// Fenced off the campaign. Idle-poll rather than exit: a cooldown
+			// release or operator action may readmit us, and the health verb
+			// should report the quarantine meanwhile.
+			w.quarantined.Store(true)
 			if !w.sleepCtx(ctx, w.cfg.IdleWait) {
 				return ctx.Err()
 			}
 			continue
 		}
-		if resp.Done {
-			return nil
-		}
+		w.quarantined.Store(false)
 		if !resp.Granted {
 			wait := time.Duration(resp.WaitMS) * time.Millisecond
 			if wait <= 0 || wait > w.cfg.IdleWait {
@@ -180,6 +218,9 @@ func (w *Worker) Snapshot() WorkerSnapshot {
 	health := HealthOK
 	if w.fenced.Load() {
 		health = HealthFenced
+	}
+	if w.quarantined.Load() {
+		health = HealthQuarantined
 	}
 	if w.draining.Load() {
 		health = HealthDraining
@@ -225,14 +266,27 @@ func (w *Worker) runCell(ctx context.Context, cell int, epoch, gen int64) {
 	if err != nil {
 		req.Result = nil
 		req.Err = err.Error()
+	} else {
+		// The checksum is computed here, the moment the cell function's bytes
+		// are in hand: anything that corrupts them between this line and the
+		// dispatcher's verification — worker memory, serialization, the wire —
+		// breaks the CRC and the completion is rejected instead of accepted.
+		req.Sum = completionSum(w.campaignSHA(), cell, result)
 	}
 	resp, rerr := w.request(ctx, req)
 	if rerr != nil {
 		return // completion lost; the lease will expire and the cell requeue
 	}
-	if err == nil && !resp.Stale && !resp.Duplicate {
+	if err == nil && !resp.Stale && !resp.Duplicate && !resp.Rejected {
 		w.cellsDone.Add(1)
 	}
+}
+
+// campaignSHA is the campaign identity adopted at the last hello.
+func (w *Worker) campaignSHA() string {
+	w.connMu.Lock()
+	defer w.connMu.Unlock()
+	return w.specSHAHex
 }
 
 // heartbeatLoop renews the lease until the cell context ends. A "fenced"
@@ -321,9 +375,9 @@ func (w *Worker) exchangeLocked(req request) (response, error) {
 		}
 		return response{}, io.ErrUnexpectedEOF
 	}
-	var resp response
-	if err := json.Unmarshal(w.sc.Bytes(), &resp); err != nil {
-		return response{}, fmt.Errorf("fabric: decode: %w", err)
+	resp, err := decodeResponse(w.sc.Bytes())
+	if err != nil {
+		return response{}, err
 	}
 	if resp.Error != "" {
 		return resp, fmt.Errorf("fabric: dispatcher: %s", resp.Error)
@@ -346,6 +400,10 @@ func (w *Worker) dialLocked() error {
 		return err
 	}
 	w.hbEvery = time.Duration(resp.HeartbeatMS) * time.Millisecond
+	// The spec bytes round-trip verbatim (json.RawMessage), so hashing what
+	// arrived here yields the same campaign identity the dispatcher hashed
+	// from its own config — the two ends of every completion checksum.
+	w.specSHAHex = specSHA(resp.Spec)
 	w.gen.Store(resp.Gen)
 	return nil
 }
@@ -441,6 +499,35 @@ func FetchDispatchHealth(addr string, timeout time.Duration) (DispatchHealth, er
 	return h, nil
 }
 
+// FetchWorkerHealth asks a simd daemon's health address for its report — the
+// client side of `simd -check-health`, so scripts can act on a fenced or
+// quarantined worker via the exit code instead of parsing output. One shot,
+// no retry, same as FetchDispatchHealth.
+func FetchWorkerHealth(addr string, timeout time.Duration) (HealthReport, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return HealthReport{}, fmt.Errorf("fabric: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	if err := json.NewEncoder(conn).Encode(request{Op: "health"}); err != nil {
+		return HealthReport{}, fmt.Errorf("fabric: send health: %w", err)
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 4096), maxLine)
+	if !sc.Scan() {
+		return HealthReport{}, io.ErrUnexpectedEOF
+	}
+	var h HealthReport
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+		return HealthReport{}, fmt.Errorf("fabric: bad health reply: %w", err)
+	}
+	return h, nil
+}
+
 // sleepFor waits via the policy's own primitive (tests stub it out),
 // falling back to a real sleep.
 func sleepFor(p *slurm.RetryPolicy, d time.Duration) {
@@ -462,7 +549,7 @@ func (f *atomicFloat) load() float64   { return math.Float64frombits(f.bits.Load
 // WorkerSnapshot is one worker loop's health for the simd health verb.
 type WorkerSnapshot struct {
 	ID         string `json:"id"`
-	Health     string `json:"health"` // ok | draining | fenced
+	Health     string `json:"health"` // ok | draining | fenced | quarantined
 	CellsDone  int64  `json:"cells_done"`
 	LeaseCell  int64  `json:"lease_cell"` // -1 while idle
 	LeaseEpoch int64  `json:"lease_epoch"`
@@ -490,8 +577,8 @@ type FabricHealth struct {
 }
 
 // AggregateHealth folds per-loop snapshots into one daemon report: draining
-// dominates, then fenced, else ok; cells done sum; the current lease is the
-// first loop's active one.
+// dominates, then quarantined, then fenced, else ok; cells done sum; the
+// current lease is the first loop's active one.
 func AggregateHealth(snaps []WorkerSnapshot) HealthReport {
 	rep := HealthReport{OK: true, Health: HealthOK}
 	rep.Fabric.LeaseCell = -1
@@ -503,6 +590,9 @@ func AggregateHealth(snaps []WorkerSnapshot) HealthReport {
 		}
 		if s.Health == HealthFenced && rep.Health == HealthOK {
 			rep.Health = HealthFenced
+		}
+		if s.Health == HealthQuarantined && (rep.Health == HealthOK || rep.Health == HealthFenced) {
+			rep.Health = HealthQuarantined
 		}
 		if s.Health == HealthDraining {
 			rep.Health = HealthDraining

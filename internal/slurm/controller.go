@@ -199,6 +199,11 @@ func (c *Controller) replay(entries []Entry) error {
 			for i, a := range e.After {
 				after[i] = cluster.JobID(a)
 			}
+			// The journaled ID is authoritative: a submit whose append
+			// failed (and was rolled back) still burned a live ID, so the
+			// counter may trail the log. Fast-forward, then require an exact
+			// match — a journal ID *behind* the counter is real divergence.
+			c.sys.SyncNextJobID(cluster.JobID(e.ID))
 			var id cluster.JobID
 			id, err = c.applySubmit(e.App, e.Nodes,
 				des.Duration(e.Walltime), des.Duration(e.Runtime), e.Name, after)

@@ -381,6 +381,11 @@ func (c *Controller) applyReplicatedLocked(e Entry) error {
 		for i, a := range e.After {
 			after[i] = cluster.JobID(a)
 		}
+		// The primary's ID is authoritative; its counter may be ahead of
+		// the replicated log when a local append failed and was rolled back
+		// (the burned ID is never replicated). Fast-forward, then require
+		// an exact match.
+		c.sys.SyncNextJobID(cluster.JobID(e.ID))
 		var id cluster.JobID
 		id, err = c.applySubmit(e.App, e.Nodes,
 			des.Duration(e.Walltime), des.Duration(e.Runtime), e.Name, after)

@@ -132,12 +132,13 @@ func syncDir(fsys vfs.FS, dir string) {
 // are assigned by the controller (which also owns the in-memory copy of the
 // log for replication); the journal persists entries exactly as given.
 type journal struct {
-	fs    vfs.FS
-	dir   string
-	w     *journalWriter
-	werr  error // why w is nil (a failed compact step); appends try to heal
-	every int   // compact after this many appends (0 = never)
-	ops   int   // appends since the last compaction
+	fs     vfs.FS
+	dir    string
+	w      *journalWriter
+	werr   error // why w is nil (a failed compact step); appends try to heal
+	wedged bool  // a failed append could not be rolled back; nothing more is written
+	every  int   // compact after this many appends (0 = never)
+	ops    int   // appends since the last compaction
 
 	// testAppendErr, when set, is consulted before each append; a non-nil
 	// return aborts the append with that error. Tests use it to simulate a
@@ -157,6 +158,14 @@ type journalWriter struct {
 	f       vfs.File
 	bw      *bufio.Writer
 	version int
+	// committed is the byte length of the acknowledged prefix of the file;
+	// pending counts bytes buffered or written past it. A failed append is
+	// rolled back to committed (see journal.rollbackAppend): the flush may
+	// have persisted the record even though the fsync failed, and leaving it
+	// behind would collide with the retry's reissued Seq — recovery would
+	// then refuse the duplicate as out-of-sequence corruption.
+	committed int64
+	pending   int64
 }
 
 func newJournalWriter(f vfs.File, version int) *journalWriter {
@@ -172,6 +181,7 @@ func createJournalV2(fsys vfs.FS, path string) (*journalWriter, error) {
 	}
 	w := newJournalWriter(f, journalV2)
 	if _, err := w.bw.WriteString(v2Header + "\n"); err == nil {
+		w.pending = int64(len(v2Header) + 1)
 		err = w.sync()
 	}
 	if err != nil {
@@ -195,6 +205,7 @@ func (w *journalWriter) append(e Entry) error {
 	if _, err := w.bw.Write(line); err != nil {
 		return fmt.Errorf("slurm: append to %s: %w", w.f.Name(), err)
 	}
+	w.pending += int64(len(line))
 	return nil
 }
 
@@ -205,6 +216,8 @@ func (w *journalWriter) sync() error {
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("slurm: sync %s: %w", w.f.Name(), err)
 	}
+	w.committed += w.pending
+	w.pending = 0
 	return nil
 }
 
@@ -434,6 +447,7 @@ func openJournal(fsys vfs.FS, dir string, every int, pol CorruptPolicy) (*journa
 		f, err = fsys.OpenAppend(journalFile(dir))
 		if err == nil {
 			w = newJournalWriter(f, tail.version)
+			w.committed = tail.validLen
 		}
 	}
 	if err != nil {
@@ -470,6 +484,7 @@ func (j *journal) ensureWriter() error {
 		return err
 	}
 	j.w = newJournalWriter(f, scan.version)
+	j.w.committed = scan.validLen
 	j.werr = nil
 	return nil
 }
@@ -483,20 +498,45 @@ func (j *journal) append(e Entry) error {
 			return journalErr(ErrJournalAppend, err)
 		}
 	}
+	if j.wedged {
+		return journalErr(ErrJournalAppend,
+			fmt.Errorf("slurm: journal %s wedged by an earlier failed append rollback", journalFile(j.dir)))
+	}
 	if err := j.ensureWriter(); err != nil {
 		return journalErr(ErrJournalAppend, err)
 	}
 	if err := j.w.append(e); err != nil {
-		return journalErr(ErrJournalAppend, err)
+		return journalErr(ErrJournalAppend, j.rollbackAppend(err))
 	}
 	if err := j.w.sync(); err != nil {
-		return journalErr(ErrJournalAppend, err)
+		return journalErr(ErrJournalAppend, j.rollbackAppend(err))
 	}
 	j.ops++
 	if j.every > 0 && j.ops >= j.every {
 		return j.compact()
 	}
 	return nil
+}
+
+// rollbackAppend discards a failed append's possibly-persisted bytes by
+// truncating the live journal back to its committed length: the flush may
+// have landed the record on disk even though the fsync (or a partial write)
+// failed, and the retry will reissue the same Seq — without the rollback the
+// duplicate would make recovery refuse the whole journal as out-of-sequence
+// corruption. The handle is closed and reopened lazily by the next append's
+// ensureWriter. If the rollback itself fails the journal wedges — nothing
+// more is written, and the committed prefix is what the next open finds —
+// mirroring the campaign journal's policy (DESIGN §13).
+func (j *journal) rollbackAppend(err error) error {
+	committed := j.w.committed
+	j.w.f.Close()
+	j.w = nil
+	if terr := j.fs.Truncate(journalFile(j.dir), committed); terr != nil {
+		j.wedged = true
+		return fmt.Errorf("%w (rollback failed: %v; journal wedged)", err, terr)
+	}
+	j.werr = err
+	return err
 }
 
 // writeSnapshotAtomic writes data to the snapshot temp file, syncs it, and
