@@ -1,0 +1,119 @@
+package repro
+
+// TestEmitBenchServeJSON storms a journaled slurm server with the open-loop
+// bench harness at roughly 2x its fsync-bound capacity and writes
+// BENCH_serve.json: per-class (control/submit/query) latency percentiles,
+// shed/busy/deadline outcome counts, submit goodput, and the server's own
+// serve counters and brownout state. The journal's fsync cost is modeled (a
+// fixed 4ms stall per sync) so the run measures the robustness machinery, not
+// the host's disk. Opt-in — set BENCH_SERVE_JSON to the output path:
+//
+//	BENCH_SERVE_JSON=BENCH_serve.json go test -run TestEmitBenchServeJSON -count=1 .
+//
+// CI runs it in the serve job and uploads the file as an artifact.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/des"
+	"repro/internal/slurm"
+	"repro/internal/vfs"
+)
+
+// benchStallFS models a real disk under a journal: every fsync costs a fixed
+// 4ms, so a submit-heavy storm saturates the mutation path at a deterministic
+// rate regardless of how fast the CI host's tmpfs is.
+type benchStallFS struct {
+	vfs.FS
+	stall time.Duration
+}
+
+type benchStallFile struct {
+	vfs.File
+	stall time.Duration
+}
+
+func (fs benchStallFS) Create(path string) (vfs.File, error) {
+	f, err := fs.FS.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return benchStallFile{f, fs.stall}, nil
+}
+
+func (fs benchStallFS) OpenAppend(path string) (vfs.File, error) {
+	f, err := fs.FS.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return benchStallFile{f, fs.stall}, nil
+}
+
+func (f benchStallFile) Sync() error {
+	time.Sleep(f.stall)
+	return f.File.Sync()
+}
+
+func TestEmitBenchServeJSON(t *testing.T) {
+	out := os.Getenv("BENCH_SERVE_JSON")
+	if out == "" {
+		t.Skip("set BENCH_SERVE_JSON=<path> to emit the serve perf file")
+	}
+
+	cfg := slurm.DefaultConfig()
+	cfg.Machine = cluster.Config{Nodes: 8, CoresPerNode: 16, ThreadsPerCore: 2, MemoryPerNodeMB: 64 * 1024}
+	cfg.Partition = slurm.Partition{Name: "batch", MaxTime: des.Day, MaxNodes: 8}
+	// Serve-shaped limits matching the cmd/slurm-bench defaults, so the
+	// artifact reflects the shipped knobs rather than a bespoke tuning.
+	cfg.Overload = slurm.OverloadConfig{
+		MaxConns:             256,
+		MaxInflight:          8,
+		RetryAfter:           5 * time.Millisecond,
+		HistoryLimit:         1024,
+		ShedTarget:           5 * time.Millisecond,
+		ShedWindow:           25 * time.Millisecond,
+		BrownoutStep:         150 * time.Millisecond,
+		BrownoutCooldown:     300 * time.Millisecond,
+		BrownoutHistoryLimit: 64,
+		BrownoutStaleFor:     100 * time.Millisecond,
+	}
+	// 4ms per fsync bounds the mutation path at ~250 submits/s; the storm
+	// below offers ~480/s, an honest 2x overload.
+	ctl, err := slurm.OpenJournaledFS(cfg, benchStallFS{vfs.OS{}, 4 * time.Millisecond}, t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	srv := slurm.NewServer(ctl)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(10 * time.Second)
+
+	res, err := slurm.RunBench(slurm.BenchConfig{
+		Addr:           addr,
+		Seed:           42,
+		Duration:       3 * time.Second,
+		Rate:           1200,
+		Conns:          24,
+		DeadlineBudget: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s:\n%s", out, res)
+}

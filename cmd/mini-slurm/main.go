@@ -35,6 +35,12 @@
 //	mini-slurm serve -state /srv/b -addr :6819 -standby-of 127.0.0.1:6818 &
 //	mini-slurm sbatch -addr 127.0.0.1:6818,127.0.0.1:6819 -app minife -nodes 4 -time 7200
 //	mini-slurm health -addr 127.0.0.1:6819        # ok role=standby epoch=1
+//
+// Every client subcommand also takes -deadline (a per-request time budget the
+// server honors end to end, refusing work it cannot finish in time) and
+// -hedge (duplicate a stalled read to the next -addr endpoint after the given
+// delay). With serve features configured (DESIGN.md §15), `health` prints the
+// brownout rung and shed/deadline counters alongside the liveness verdict.
 package main
 
 import (
@@ -109,16 +115,23 @@ func health(args []string) error {
 		return err
 	}
 	defer cl.Close()
-	h, role, epoch, err := cl.HealthInfo()
+	hr, err := cl.HealthFull()
 	if err != nil {
 		return err
 	}
-	if role != "" {
-		fmt.Printf("%s role=%s epoch=%d\n", h, role, epoch)
+	if hr.Role != "" {
+		fmt.Printf("%s role=%s epoch=%d\n", hr.Health, hr.Role, hr.Epoch)
 	} else {
-		fmt.Println(h)
+		fmt.Println(hr.Health)
 	}
-	if h != slurm.HealthOK {
+	// A serve-features-on controller attaches its degradation story: the
+	// brownout rung and the shed/deadline counters an operator triages with.
+	if hr.Serve != nil {
+		s := hr.Serve
+		fmt.Printf("brownout=%s steps=%d busy=%d shed=%d deadline=%d stale_reads=%d\n",
+			s.BrownoutState, s.BrownoutSteps, s.Busy, s.Shed, s.DeadlineExceeded, s.StaleReads)
+	}
+	if hr.Health != slurm.HealthOK {
 		os.Exit(1)
 	}
 	return nil
@@ -301,11 +314,22 @@ func serve(args []string) error {
 func dial(fs *flag.FlagSet, args []string) (*slurm.Client, *flag.FlagSet, error) {
 	addr := fs.String("addr", defaultAddr,
 		"controller address, or comma-separated list for an HA pair (first healthy wins)")
+	deadline := fs.Duration("deadline", 0,
+		"per-request deadline budget; the server refuses work it cannot finish in time (0 = none)")
+	hedge := fs.Duration("hedge", 0,
+		"hedge read requests to the next endpoint after this long without a reply (0 = off)")
 	fs.Parse(args)
 	// Retrying client: BUSY responses back off, and with an endpoint list a
 	// standby's not-primary rejection rotates to the next endpoint.
 	cl, err := slurm.DialRetry(*addr, uint64(time.Now().UnixNano()))
-	return cl, fs, err
+	if err != nil {
+		return nil, fs, err
+	}
+	cl.DeadlineBudget = *deadline
+	if *hedge > 0 {
+		cl.Hedge = &slurm.HedgePolicy{Delay: *hedge}
+	}
+	return cl, fs, nil
 }
 
 func sbatch(args []string) error {

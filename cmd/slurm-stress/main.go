@@ -97,6 +97,17 @@ func run(addr, conf string, clients, submits int, seed uint64, interval, deadlin
 		return err
 	}
 	fmt.Println(res)
+	// The server's own degradation tally, when serve features are on: how
+	// much of the soak it shed by priority vs. volume, and whether the storm
+	// pushed it onto the brownout ladder.
+	if probe, err := slurm.Dial(addr); err == nil {
+		if hr, err := probe.HealthFull(); err == nil && hr.Serve != nil {
+			s := hr.Serve
+			fmt.Printf("server: busy=%d shed=%d deadline=%d stale_reads=%d brownout=%s (steps %d)\n",
+				s.Busy, s.Shed, s.DeadlineExceeded, s.StaleReads, s.BrownoutState, s.BrownoutSteps)
+		}
+		probe.Close()
+	}
 	for _, e := range res.Errors {
 		fmt.Fprintln(os.Stderr, "slurm-stress: sampled error:", e)
 	}

@@ -45,6 +45,7 @@ type Proxy struct {
 	rngS2C  *des.RNG
 	partC2S bool
 	partS2C bool
+	stats   Stats
 	conns   map[net.Conn]bool
 	closed  bool
 	wg      sync.WaitGroup
@@ -89,6 +90,34 @@ func (p *Proxy) SetPartition(c2s, s2c bool) {
 	p.mu.Lock()
 	p.partC2S, p.partS2C = c2s, s2c
 	p.mu.Unlock()
+}
+
+// SetFaults swaps the probabilistic fault parameters at runtime (Seed and
+// Name are fixed at Listen; the RNG streams keep their position, so a
+// scenario that turns faults on mid-run stays a deterministic function of
+// the seed). Used by load harnesses that want distinct calm / stormy phases
+// over one proxy.
+func (p *Proxy) SetFaults(drop, delayProb float64, delayMin, delayMax time.Duration) {
+	p.mu.Lock()
+	p.cfg.Drop, p.cfg.DelayProb = drop, delayProb
+	p.cfg.DelayMin, p.cfg.DelayMax = delayMin, delayMax
+	p.mu.Unlock()
+}
+
+// Stats is a snapshot of the faults actually injected, so a harness can
+// report how much chaos a run really saw (a seed that happened to draw no
+// faults proves nothing).
+type Stats struct {
+	Drops   int64 `json:"drops"`
+	Delays  int64 `json:"delays"`
+	Swallow int64 `json:"partition_chunks"`
+}
+
+// Stats returns cumulative injected-fault counts.
+func (p *Proxy) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
 }
 
 // Close stops the proxy, severs every live connection, and waits for all
@@ -177,10 +206,12 @@ func (p *Proxy) fault(c2s bool) (drop bool, delay time.Duration) {
 		rng = p.rngC2S
 	}
 	if p.cfg.Drop > 0 && rng.Float64() < p.cfg.Drop {
+		p.stats.Drops++
 		return true, 0
 	}
 	if p.cfg.DelayProb > 0 && rng.Float64() < p.cfg.DelayProb {
 		d := rng.Uniform(float64(p.cfg.DelayMin), float64(p.cfg.DelayMax))
+		p.stats.Delays++
 		return false, time.Duration(d)
 	}
 	return false, 0
@@ -189,10 +220,14 @@ func (p *Proxy) fault(c2s bool) (drop bool, delay time.Duration) {
 func (p *Proxy) partitioned(c2s bool) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	part := p.partS2C
 	if c2s {
-		return p.partC2S
+		part = p.partC2S
 	}
-	return p.partS2C
+	if part {
+		p.stats.Swallow++
+	}
+	return part
 }
 
 // forget closes and untracks a connection pair.

@@ -148,6 +148,20 @@ var nodeRangeRe = regexp.MustCompile(`^([a-zA-Z_-]*)\[(\d+)-(\d+)\]$`)
 //	BreakerCooldown=<seconds>          (overload: tripped-to-half-open wait)
 //	HistoryLimit=<int>                 (overload: default cap on history
 //	                                    rows per queue reply; 0 = unlimited)
+//	ShedTargetLatency=<seconds>        (serve: EWMA service-latency target;
+//	                                    sustained excess sheds low-priority
+//	                                    verb classes; 0 = shedder off)
+//	ShedWindow=<seconds>               (serve: sustained-pressure window of
+//	                                    the shedder, both directions)
+//	BrownoutStepAfter=<seconds>        (serve: pressure sustained this long
+//	                                    climbs the brownout ladder one level;
+//	                                    requires ShedTargetLatency; 0 = off)
+//	BrownoutCooldown=<seconds>         (serve: quiet period before the ladder
+//	                                    steps back down; 0 = 4x step)
+//	BrownoutHistoryLimit=<int>         (serve: history-page cap at brownout
+//	                                    level PAGED and above)
+//	BrownoutStaleSeconds=<seconds>     (serve: snapshot-cache TTL at brownout
+//	                                    level STALE and above)
 //	ReplicaAddr=<host:port>            (HA: standby to stream journal
 //	                                    entries to; absent = standalone)
 //	HALeaseSeconds=<float>             (HA: failover lease; standby promotes
@@ -255,6 +269,28 @@ func ParseConfig(r io.Reader) (Config, error) {
 			cfg.Overload.BreakerCooldown = time.Duration(v * float64(time.Second))
 		case "HistoryLimit":
 			cfg.Overload.HistoryLimit, err = strconv.Atoi(strings.TrimSpace(rest))
+		case "ShedTargetLatency":
+			var v float64
+			v, err = strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			cfg.Overload.ShedTarget = time.Duration(v * float64(time.Second))
+		case "ShedWindow":
+			var v float64
+			v, err = strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			cfg.Overload.ShedWindow = time.Duration(v * float64(time.Second))
+		case "BrownoutStepAfter":
+			var v float64
+			v, err = strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			cfg.Overload.BrownoutStep = time.Duration(v * float64(time.Second))
+		case "BrownoutCooldown":
+			var v float64
+			v, err = strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			cfg.Overload.BrownoutCooldown = time.Duration(v * float64(time.Second))
+		case "BrownoutHistoryLimit":
+			cfg.Overload.BrownoutHistoryLimit, err = strconv.Atoi(strings.TrimSpace(rest))
+		case "BrownoutStaleSeconds":
+			var v float64
+			v, err = strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			cfg.Overload.BrownoutStaleFor = time.Duration(v * float64(time.Second))
 		case "ReplicaAddr":
 			cfg.HA.Replica = strings.TrimSpace(rest)
 		case "HALeaseSeconds":

@@ -194,6 +194,8 @@ func (c *Controller) replay(entries []Entry) error {
 			continue
 		case "epoch":
 			continue // promotion marker; handled by the epoch scan above
+		case "brownout":
+			continue // degradation audit trail, not an input
 		case "submit":
 			after := make([]cluster.JobID, len(e.After))
 			for i, a := range e.After {
@@ -290,10 +292,47 @@ func (c *Controller) Health() string {
 // errReplication so callers can tell "not locally durable" from "locally
 // durable but not yet on the standby".
 func (c *Controller) log(e Entry) error {
+	return c.logB(budget{}, e)
+}
+
+// logB is log with the request's deadline budget threaded through: once the
+// entry is locally durable, an already-expired budget skips the synchronous
+// replication round-trip — the client stopped waiting, so nobody reads the
+// ack it would buy, and the heartbeat loop pushes the pending entry within
+// one Heartbeat anyway. The caller gets ErrDeadlineExceeded (wrapped), which
+// is not an acknowledgement, so HA's ack-after-replication promise holds.
+func (c *Controller) logB(b budget, e Entry) error {
 	if err := c.logLocal(e); err != nil {
 		return err
 	}
+	if c.repl != nil && b.expired(time.Now()) {
+		return fmt.Errorf("%w: %s committed locally, replication deferred to heartbeat", ErrDeadlineExceeded, e.Op)
+	}
 	return c.replicateLocked()
+}
+
+// checkBudget refuses a mutation whose deadline budget is already spent,
+// before it costs an apply, an fsync, or a replication round-trip. Callers
+// hold c.mu.
+func (c *Controller) checkBudget(b budget) error {
+	if b.expired(time.Now()) {
+		return fmt.Errorf("%w: budget spent before work began", ErrDeadlineExceeded)
+	}
+	return nil
+}
+
+// noteBrownout journals one brownout ladder transition (Op:"brownout",
+// skipped on replay like audit records) so post-incident analysis can line
+// degradation up against the operation log. Best-effort: an append failure
+// already surfaces through the breaker and journal_sync_errors; a follower
+// journals only what the primary streams, so standbys skip it.
+func (c *Controller) noteBrownout(level int, name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if (c.jr == nil && !c.haOn) || c.standby {
+		return
+	}
+	c.logLocal(Entry{Op: "brownout", Name: name, ID: int64(level)})
 }
 
 // logLocal appends one entry and the pending completion audits to the local
@@ -393,12 +432,23 @@ func (c *Controller) Submit(appName string, nodes int, wall, runtime des.Duratio
 // safely. The token is journaled with the submit entry, making the dedupe
 // durable across crash recovery.
 func (c *Controller) SubmitToken(token, appName string, nodes int, wall, runtime des.Duration, name string, after ...cluster.JobID) (cluster.JobID, error) {
+	return c.submitTokenB(budget{}, token, appName, nodes, wall, runtime, name, after...)
+}
+
+// submitTokenB is SubmitToken with the request's deadline budget: an
+// already-spent budget is refused before the apply and the fsync, and a
+// budget that expires between the local commit and replication skips the
+// synchronous replication round-trip (see logB).
+func (c *Controller) submitTokenB(b budget, token, appName string, nodes int, wall, runtime des.Duration, name string, after ...cluster.JobID) (cluster.JobID, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if token != "" {
 		if id, ok := c.tokens[token]; ok {
 			return id, nil
 		}
+	}
+	if err := c.checkBudget(b); err != nil {
+		return cluster.NoJob, err
 	}
 	if err := c.checkWritable(); err != nil {
 		return cluster.NoJob, err
@@ -411,13 +461,15 @@ func (c *Controller) SubmitToken(token, appName string, nodes int, wall, runtime
 	for i, a := range after {
 		deps[i] = int64(a)
 	}
-	err = c.log(Entry{Op: "submit", App: appName, Nodes: nodes,
+	err = c.logB(b, Entry{Op: "submit", App: appName, Nodes: nodes,
 		Walltime: float64(wall), Runtime: float64(runtime), Name: name,
 		After: deps, ID: int64(id), Token: token})
 	// Register the token once the submit is locally durable, even if
-	// replication to the standby failed: the job exists here, so a retry of
-	// the same token must dedupe rather than double-enqueue.
-	if token != "" && (err == nil || errors.Is(err, errReplication)) {
+	// replication to the standby failed or was deferred past the deadline:
+	// the job exists here, so a retry of the same token must dedupe rather
+	// than double-enqueue. (A deadline error from logB means the entry WAS
+	// committed locally — the pre-work budget check runs before the apply.)
+	if token != "" && (err == nil || errors.Is(err, errReplication) || errors.Is(err, ErrDeadlineExceeded)) {
 		c.tokens[token] = id
 	}
 	return id, err
@@ -451,15 +503,22 @@ func (c *Controller) applySubmit(appName string, nodes int, wall, runtime des.Du
 
 // Cancel cancels a pending job.
 func (c *Controller) Cancel(id cluster.JobID) error {
+	return c.cancelB(budget{}, id)
+}
+
+func (c *Controller) cancelB(b budget, id cluster.JobID) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.checkBudget(b); err != nil {
+		return err
+	}
 	if err := c.checkWritable(); err != nil {
 		return err
 	}
 	if err := c.sys.Engine().CancelPending(id); err != nil {
 		return err
 	}
-	return c.log(Entry{Op: "cancel", ID: int64(id)})
+	return c.logB(b, Entry{Op: "cancel", ID: int64(id)})
 }
 
 // Advance moves the simulated clock forward by d, executing every event in
@@ -472,8 +531,15 @@ func (c *Controller) Advance(d des.Duration) des.Time {
 // AdvanceChecked is Advance with durability errors surfaced: it rejects
 // while the controller is DEGRADED and reports a failed journal append.
 func (c *Controller) AdvanceChecked(d des.Duration) (des.Time, error) {
+	return c.advanceB(budget{}, d)
+}
+
+func (c *Controller) advanceB(b budget, d des.Duration) (des.Time, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.checkBudget(b); err != nil {
+		return c.sys.Now(), err
+	}
 	if err := c.checkWritable(); err != nil {
 		return c.sys.Now(), err
 	}
@@ -481,7 +547,7 @@ func (c *Controller) AdvanceChecked(d des.Duration) (des.Time, error) {
 		return c.sys.Now(), nil
 	}
 	c.applyAdvance(d)
-	err := c.log(Entry{Op: "advance", Seconds: float64(d)})
+	err := c.logB(b, Entry{Op: "advance", Seconds: float64(d)})
 	return c.sys.Now(), err
 }
 
@@ -497,13 +563,20 @@ func (c *Controller) Drain() des.Time {
 
 // DrainChecked is Drain with durability errors surfaced, as AdvanceChecked.
 func (c *Controller) DrainChecked() (des.Time, error) {
+	return c.drainB(budget{})
+}
+
+func (c *Controller) drainB(b budget) (des.Time, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.checkBudget(b); err != nil {
+		return c.sys.Now(), err
+	}
 	if err := c.checkWritable(); err != nil {
 		return c.sys.Now(), err
 	}
 	c.sys.Run()
-	err := c.log(Entry{Op: "drain"})
+	err := c.logB(b, Entry{Op: "drain"})
 	return c.sys.Now(), err
 }
 
@@ -511,15 +584,22 @@ func (c *Controller) DrainChecked() (des.Time, error) {
 // requeue. Lost progress is charged and the eviction counts against the
 // job's retry budget.
 func (c *Controller) Requeue(id cluster.JobID) error {
+	return c.requeueB(budget{}, id)
+}
+
+func (c *Controller) requeueB(b budget, id cluster.JobID) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.checkBudget(b); err != nil {
+		return err
+	}
 	if err := c.checkWritable(); err != nil {
 		return err
 	}
 	if err := c.applyRequeue(id); err != nil {
 		return err
 	}
-	return c.log(Entry{Op: "requeue", ID: int64(id)})
+	return c.logB(b, Entry{Op: "requeue", ID: int64(id)})
 }
 
 func (c *Controller) applyRequeue(id cluster.JobID) error {
@@ -533,15 +613,22 @@ func (c *Controller) applyRequeue(id cluster.JobID) error {
 // DownNode forces a node down — scontrol update State=DOWN. Resident jobs
 // are evicted and requeued.
 func (c *Controller) DownNode(ni int) error {
+	return c.downNodeB(budget{}, ni)
+}
+
+func (c *Controller) downNodeB(b budget, ni int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.checkBudget(b); err != nil {
+		return err
+	}
 	if err := c.checkWritable(); err != nil {
 		return err
 	}
 	if err := c.applyDownNode(ni); err != nil {
 		return err
 	}
-	return c.log(Entry{Op: "down_node", Node: ni})
+	return c.logB(b, Entry{Op: "down_node", Node: ni})
 }
 
 func (c *Controller) applyDownNode(ni int) error {
@@ -555,15 +642,22 @@ func (c *Controller) applyDownNode(ni int) error {
 // UpNode returns a down node to service — scontrol update State=RESUME on a
 // DOWN node.
 func (c *Controller) UpNode(ni int) error {
+	return c.upNodeB(budget{}, ni)
+}
+
+func (c *Controller) upNodeB(b budget, ni int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.checkBudget(b); err != nil {
+		return err
+	}
 	if err := c.checkWritable(); err != nil {
 		return err
 	}
 	if err := c.applyUpNode(ni); err != nil {
 		return err
 	}
-	return c.log(Entry{Op: "up_node", Node: ni})
+	return c.logB(b, Entry{Op: "up_node", Node: ni})
 }
 
 func (c *Controller) applyUpNode(ni int) error {
@@ -584,15 +678,22 @@ func (c *Controller) Stats() metrics.Result {
 // DrainNode removes a node from scheduling (running jobs finish in place;
 // no new work lands) — scontrol update State=DRAIN.
 func (c *Controller) DrainNode(ni int) error {
+	return c.drainNodeB(budget{}, ni)
+}
+
+func (c *Controller) drainNodeB(b budget, ni int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.checkBudget(b); err != nil {
+		return err
+	}
 	if err := c.checkWritable(); err != nil {
 		return err
 	}
 	if err := c.applyDrainNode(ni); err != nil {
 		return err
 	}
-	return c.log(Entry{Op: "drain_node", Node: ni})
+	return c.logB(b, Entry{Op: "drain_node", Node: ni})
 }
 
 func (c *Controller) applyDrainNode(ni int) error {
@@ -607,15 +708,22 @@ func (c *Controller) applyDrainNode(ni int) error {
 // ResumeNode returns a drained node to service and kicks the scheduler so
 // waiting work can use it immediately.
 func (c *Controller) ResumeNode(ni int) error {
+	return c.resumeNodeB(budget{}, ni)
+}
+
+func (c *Controller) resumeNodeB(b budget, ni int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.checkBudget(b); err != nil {
+		return err
+	}
 	if err := c.checkWritable(); err != nil {
 		return err
 	}
 	if err := c.applyResumeNode(ni); err != nil {
 		return err
 	}
-	return c.log(Entry{Op: "resume_node", Node: ni})
+	return c.logB(b, Entry{Op: "resume_node", Node: ni})
 }
 
 func (c *Controller) applyResumeNode(ni int) error {

@@ -1,8 +1,10 @@
 package slurm
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
+	"time"
 )
 
 // FuzzParseConfig drives the slurm.conf parser with arbitrary input: it
@@ -32,6 +34,12 @@ func FuzzParseConfig(f *testing.F) {
 	f.Add("NodeName=n CPUs=2 ThreadsPerCore=1 RealMemory=64\nBusyRetryAfter=-0.5\n")
 	f.Add("NodeName=n CPUs=2 ThreadsPerCore=1 RealMemory=64\nBreakerThreshold=1\nBreakerCooldown=0\n")
 	f.Add("NodeName=n CPUs=2 ThreadsPerCore=1 RealMemory=64\nHistoryLimit=9999999999999999999999\n")
+	f.Add("NodeName=n[1-4] CPUs=8 ThreadsPerCore=2 RealMemory=1024\n" +
+		"ShedTargetLatency=0.02\nShedWindow=0.1\nBrownoutStepAfter=0.5\n" +
+		"BrownoutCooldown=2\nBrownoutHistoryLimit=64\nBrownoutStaleSeconds=1\n")
+	f.Add("NodeName=n CPUs=2 ThreadsPerCore=1 RealMemory=64\nShedTargetLatency=-1\n")
+	f.Add("NodeName=n CPUs=2 ThreadsPerCore=1 RealMemory=64\nBrownoutStepAfter=0.5\n")
+	f.Add("NodeName=n CPUs=2 ThreadsPerCore=1 RealMemory=64\nBrownoutHistoryLimit=-5\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		cfg, err := ParseConfig(strings.NewReader(input))
 		if err != nil {
@@ -44,6 +52,59 @@ func FuzzParseConfig(f *testing.F) {
 		if cfg.Machine.Nodes <= 1024 && cfg.Machine.CoresPerNode <= 256 {
 			if _, err := NewController(cfg); err != nil {
 				t.Fatalf("accepted config cannot boot a controller: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzDeadlineWire drives the deadline/priority wire surface with arbitrary
+// JSON: whatever a hostile client puts in deadline_ms, op, or (as a server)
+// retry_after_ms, the budget resolution, verb classing, and retry-after
+// clamping must never panic, overflow into a huge wait, or mis-parse into a
+// budget the arithmetic cannot handle.
+func FuzzDeadlineWire(f *testing.F) {
+	f.Add(`{"op":"queue","deadline_ms":100}`)
+	f.Add(`{"op":"submit","deadline_ms":-1}`)
+	f.Add(`{"op":"queue","deadline_ms":9223372036854775807}`)
+	f.Add(`{"op":"queue","deadline_ms":-9223372036854775808}`)
+	f.Add(`{"op":"health","deadline_ms":0}`)
+	f.Add(`{"op":"","deadline_ms":1}`)
+	f.Add("{\"op\":\"\x00weird\",\"deadline_ms\":42}")
+	f.Add(`{"busy":true,"retry_after_ms":9223372036854775807}`)
+	f.Add(`{"shed":true,"retry_after_ms":-5}`)
+	f.Add(`{"deadline_exceeded":true,"error":"deadline exceeded: x"}`)
+	f.Add(`{"op":"queue","deadline_ms":1e30}`)
+	f.Add(`{"op":"queue","deadline_ms":"soon"}`)
+	f.Fuzz(func(t *testing.T, line string) {
+		now := time.Unix(1700000000, 0)
+
+		var req Request
+		if err := json.Unmarshal([]byte(line), &req); err == nil {
+			b := requestBudget(req.DeadlineMS, now)
+			// Whatever came off the wire, the resolved budget must be
+			// arithmetic-safe: remaining() bounded by the clamp, expiry
+			// queries valid at any probe time.
+			if rem := b.remaining(now); rem > time.Duration(maxDeadlineMS)*time.Millisecond {
+				t.Fatalf("deadline_ms %d resolved past the clamp: %v", req.DeadlineMS, rem)
+			}
+			b.expired(now)
+			b.expired(now.Add(100 * time.Hour))
+			if req.DeadlineMS < 0 && !b.expired(now) {
+				t.Fatalf("negative deadline_ms %d not pre-expired", req.DeadlineMS)
+			}
+			// Verb classing is total: any op string lands in a real class.
+			if c := verbClass(req.Op); c < classControl || c >= numClasses {
+				t.Fatalf("verbClass(%q) = %d out of range", req.Op, c)
+			}
+		}
+
+		var resp Response
+		if err := json.Unmarshal([]byte(line), &resp); err == nil {
+			// A hostile server's retry-after must clamp into [0, 60s]: never
+			// negative, never parking the client forever.
+			d := clampRetryAfterMS(resp.RetryAfterMS)
+			if d < 0 || d > time.Minute {
+				t.Fatalf("clampRetryAfterMS(%d) = %v outside [0, 1m]", resp.RetryAfterMS, d)
 			}
 		}
 	})

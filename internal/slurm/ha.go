@@ -372,6 +372,8 @@ func (c *Controller) applyReplicatedLocked(e Entry) error {
 	switch e.Op {
 	case "record":
 		// Audit output, not an input; journaled for a complete trail.
+	case "brownout":
+		// Primary's degradation trail; the standby keeps its own ladder.
 	case "epoch":
 		if e.Epoch > c.epoch {
 			c.epoch = e.Epoch

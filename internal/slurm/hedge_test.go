@@ -1,0 +1,145 @@
+package slurm
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// TestHedgeableVerbs: only side-effect-free reads may race in duplicate.
+func TestHedgeableVerbs(t *testing.T) {
+	for _, op := range []string{"queue", "nodes", "stats", "now", "health", "config"} {
+		if !hedgeable(Request{Op: op}) {
+			t.Errorf("%s should be hedgeable", op)
+		}
+	}
+	for _, op := range []string{"submit", "cancel", "advance", "drain", "requeue",
+		"down_node", "up_node", "drain_node", "resume_node", "replicate", "junk"} {
+		if hedgeable(Request{Op: op}) {
+			t.Errorf("%s must NOT be hedgeable", op)
+		}
+	}
+}
+
+// TestHedgeWinsOverStalledPrimary: the primary endpoint is a black-holed
+// chaos proxy (bytes vanish, no errors — the nastiest stall); the hedge
+// dials the next endpoint, wins, and the client adopts its connection. The
+// goroutine count must return to baseline afterwards: the losing attempt is
+// cancelled by its socket closing, never leaked.
+func TestHedgeWinsOverStalledPrimary(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ctl, err := NewController(testControllerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ctl)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	px, err := chaos.Listen(addr, chaos.Config{Seed: 3, Name: "hedge"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	px.Partition() // primary stalls silently from the very first byte
+
+	cl, err := Dial(px.Addr() + "," + addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Timeout = 5 * time.Second
+	cl.Hedge = &HedgePolicy{Delay: 30 * time.Millisecond}
+
+	hedgesBefore := expClientHedges.Value()
+	start := time.Now()
+	resp, err := cl.Do(Request{Op: "queue"})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("hedged read failed: %v", err)
+	}
+	if !resp.OK {
+		t.Fatalf("hedged read not OK: %+v", resp)
+	}
+	if elapsed >= cl.Timeout {
+		t.Fatalf("hedged read took %v — the hedge never rescued the stall", elapsed)
+	}
+	if expClientHedges.Value() != hedgesBefore+1 {
+		t.Fatalf("hedge counter moved %d, want 1", expClientHedges.Value()-hedgesBefore)
+	}
+	// The client adopted the winning (direct) endpoint: the next read works
+	// without waiting out another hedge delay.
+	start = time.Now()
+	if _, err := cl.Do(Request{Op: "nodes"}); err != nil {
+		t.Fatalf("post-adoption read failed: %v", err)
+	}
+	if since := time.Since(start); since > 25*time.Millisecond {
+		t.Fatalf("post-adoption read took %v; transport adoption did not stick", since)
+	}
+
+	cl.Close()
+	px.Close()
+	srv.Shutdown(5 * time.Second)
+	ctl.Close()
+	waitGoroutines(t, before+1)
+}
+
+// TestHedgeNotLaunchedWhenPrimaryFast: a healthy primary answers inside the
+// hedge delay, so no second connection is ever dialed.
+func TestHedgeNotLaunchedWhenPrimaryFast(t *testing.T) {
+	cl, _, _ := overloadServer(t, OverloadConfig{})
+	cl.Hedge = &HedgePolicy{Delay: time.Second}
+	hedgesBefore := expClientHedges.Value()
+	for i := 0; i < 10; i++ {
+		if _, err := cl.Do(Request{Op: "queue"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := expClientHedges.Value(); got != hedgesBefore {
+		t.Fatalf("fast primary still hedged %d times", got-hedgesBefore)
+	}
+}
+
+// TestHedgeRepeatedNoLeak: many hedged reads against a stalled primary leave
+// no goroutines behind — the leak check that guards loser cancellation.
+func TestHedgeRepeatedNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ctl, err := NewController(testControllerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ctl)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	px, err := chaos.Listen(addr, chaos.Config{Seed: 4, Name: "hedge-leak"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	px.Partition()
+
+	for i := 0; i < 8; i++ {
+		// Fresh client each round: redial starts from the stalled proxy
+		// endpoint again, so every iteration exercises the full race.
+		cl, err := Dial(px.Addr() + "," + addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl.Timeout = 5 * time.Second
+		cl.Hedge = &HedgePolicy{Delay: 10 * time.Millisecond}
+		if _, err := cl.Do(Request{Op: "now"}); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		cl.Close()
+	}
+
+	px.Close()
+	srv.Shutdown(5 * time.Second)
+	ctl.Close()
+	waitGoroutines(t, before+1)
+}

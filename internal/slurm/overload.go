@@ -76,6 +76,27 @@ type OverloadConfig struct {
 	// HistoryLimit caps JobInfo rows in one Queue(history=true) reply when
 	// the client does not pass an explicit limit (0 = unlimited).
 	HistoryLimit int
+	// ShedTarget enables the adaptive priority shedder (serve.go): when the
+	// EWMA of recent service latency holds above this target for a full
+	// ShedWindow, the lowest verb class still admitted is shed. 0 disables
+	// priority shedding.
+	ShedTarget time.Duration
+	// ShedWindow is the sustained-pressure window of the shedder (and its
+	// quiet window for stepping back down). 0 selects DefaultShedWindow.
+	ShedWindow time.Duration
+	// BrownoutStep enables the brownout ladder (serve.go): pressure
+	// sustained this long climbs the ladder one level. Requires ShedTarget
+	// (the ladder's pressure signal is the shedder). 0 disables the ladder.
+	BrownoutStep time.Duration
+	// BrownoutCooldown is the quiet period required before the ladder steps
+	// back down one level. 0 selects 4×BrownoutStep.
+	BrownoutCooldown time.Duration
+	// BrownoutHistoryLimit caps history paging at BrownoutPaged and above.
+	// 0 selects DefaultBrownoutHistoryLimit.
+	BrownoutHistoryLimit int
+	// BrownoutStaleFor is the snapshot-cache TTL at BrownoutStale and
+	// above. 0 selects DefaultBrownoutStaleFor.
+	BrownoutStaleFor time.Duration
 }
 
 // DefaultOverloadConfig returns production-shaped protection: generous
@@ -107,7 +128,47 @@ func (o OverloadConfig) Validate() error {
 	if o.RetryAfter < 0 || o.BreakerCooldown < 0 {
 		return fmt.Errorf("slurm: negative overload durations")
 	}
+	if o.ShedTarget < 0 || o.ShedWindow < 0 || o.BrownoutStep < 0 ||
+		o.BrownoutCooldown < 0 || o.BrownoutStaleFor < 0 {
+		return fmt.Errorf("slurm: negative shed/brownout durations")
+	}
+	if o.BrownoutHistoryLimit < 0 {
+		return fmt.Errorf("slurm: negative BrownoutHistoryLimit")
+	}
+	if o.BrownoutStep > 0 && o.ShedTarget <= 0 {
+		return fmt.Errorf("slurm: BrownoutStepAfter requires ShedTargetLatency (the ladder's pressure signal is the shedder)")
+	}
 	return nil
+}
+
+// shedWindow, brownoutCooldown, brownoutHistoryLimit, and brownoutStaleFor
+// resolve the serve-robustness knobs' defaults.
+func (o OverloadConfig) shedWindow() time.Duration {
+	if o.ShedWindow > 0 {
+		return o.ShedWindow
+	}
+	return DefaultShedWindow
+}
+
+func (o OverloadConfig) brownoutCooldown() time.Duration {
+	if o.BrownoutCooldown > 0 {
+		return o.BrownoutCooldown
+	}
+	return 4 * o.BrownoutStep
+}
+
+func (o OverloadConfig) brownoutHistoryLimit() int {
+	if o.BrownoutHistoryLimit > 0 {
+		return o.BrownoutHistoryLimit
+	}
+	return DefaultBrownoutHistoryLimit
+}
+
+func (o OverloadConfig) brownoutStaleFor() time.Duration {
+	if o.BrownoutStaleFor > 0 {
+		return o.BrownoutStaleFor
+	}
+	return DefaultBrownoutStaleFor
 }
 
 // retryAfter is the BUSY hint for shed work that has no limiter-computed wait.
@@ -222,11 +283,17 @@ func (b *breaker) degraded() bool { return b.tripped }
 
 // BusyError is returned by Client.Do when the server sheds the request.
 // The embedded hint tells the caller when a retry is worth attempting.
+// Shed distinguishes a priority shed (the server chose to drop this verb
+// class under overload) from a plain volume shed; both are retryable.
 type BusyError struct {
 	RetryAfter time.Duration
+	Shed       bool
 }
 
 func (e *BusyError) Error() string {
+	if e.Shed {
+		return fmt.Sprintf("slurm: request shed under overload, retry after %s", e.RetryAfter)
+	}
 	return fmt.Sprintf("slurm: server busy, retry after %s", e.RetryAfter)
 }
 

@@ -9,6 +9,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
@@ -57,6 +58,12 @@ type Request struct {
 	Epoch   int64   `json:"epoch,omitempty"`
 	Entries []Entry `json:"entries,omitempty"`
 	Full    bool    `json:"full,omitempty"`
+	// DeadlineMS is the request's remaining deadline budget in milliseconds,
+	// relative so client and server clocks need not agree (see serve.go).
+	// The server refuses work it cannot finish within the budget before
+	// doing any of it. Absent (0) = no deadline, byte-identical behavior to
+	// pre-deadline releases.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // Response is one server reply.
@@ -85,6 +92,17 @@ type Response struct {
 	Epoch    int64  `json:"epoch,omitempty"`
 	Seq      int64  `json:"seq,omitempty"`
 	NeedFull bool   `json:"need_full,omitempty"`
+	// Serve-robustness payloads (see serve.go); all absent unless the
+	// request carried a deadline or the server has shed/brownout features
+	// on, keeping legacy traffic byte-identical. Shed marks a priority shed
+	// (Busy is set too, so old clients retry it like a volume shed);
+	// DeadlineExceeded marks a request refused — or abandoned mid-mutation —
+	// because its budget ran out; Brownout is the ladder state on health
+	// replies; Serve carries the degradation counters on health replies.
+	Shed             bool           `json:"shed,omitempty"`
+	DeadlineExceeded bool           `json:"deadline_exceeded,omitempty"`
+	Brownout         string         `json:"brownout,omitempty"`
+	Serve            *ServeCounters `json:"serve,omitempty"`
 }
 
 // Protocol hardening limits: a client that stops sending mid-line, never
@@ -116,6 +134,21 @@ type Server struct {
 	sem  chan struct{}
 	now  func() time.Time
 
+	// Serve-robustness state (see serve.go): est estimates per-class
+	// service time for deadline admission (always on — it only acts when a
+	// request carries a budget); shed and ladder are nil unless configured;
+	// cache is the BrownoutStale snapshot cache.
+	est    *classEstimator
+	shed   *shedder
+	ladder *brownoutLadder
+	cache  *staleCache
+
+	// Degradation counters, exposed by the health verb as ServeCounters.
+	nBusy     atomic.Int64
+	nShed     atomic.Int64
+	nDeadline atomic.Int64
+	nStale    atomic.Int64
+
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]bool
@@ -135,9 +168,20 @@ func NewServer(ctl *Controller) *Server {
 		conns: make(map[net.Conn]bool),
 		over:  ctl.Config().Overload,
 		now:   time.Now,
+		est:   &classEstimator{},
 	}
 	if s.over.MaxInflight > 0 {
 		s.sem = make(chan struct{}, s.over.MaxInflight)
+	}
+	if s.over.ShedTarget > 0 {
+		s.shed = newShedder(s.over.ShedTarget, s.over.shedWindow())
+	}
+	if s.over.BrownoutStep > 0 {
+		s.ladder = newBrownoutLadder(s.over.BrownoutStep, s.over.brownoutCooldown(), func(level int, name string) {
+			expBrownoutSteps.Add(1)
+			ctl.noteBrownout(level, name)
+		})
+		s.cache = newStaleCache(s.over.brownoutStaleFor())
 	}
 	return s
 }
@@ -203,6 +247,8 @@ func (s *Server) rejectConn(conn net.Conn) {
 	if writeTimeout <= 0 {
 		writeTimeout = DefaultWriteTimeout
 	}
+	s.nBusy.Add(1)
+	expBusyShed.Add(1)
 	resp := s.over.busyResponse(0)
 	resp.Now = float64(s.ctl.Now())
 	conn.SetWriteDeadline(time.Now().Add(writeTimeout))
@@ -297,11 +343,52 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// admit applies rate limiting and the in-flight bound, then dispatches.
-// Shed requests get a BUSY response without touching the controller.
+// admit is the full admission pipeline: deadline admission, brownout, the
+// priority shedder, then the volume backstops (rate limit + in-flight
+// bound), then dispatch. Refused requests never touch the controller.
 func (s *Server) admit(req Request, bucket *tokenBucket) Response {
+	now := s.now()
+	class := verbClass(req.Op)
+	b := requestBudget(req.DeadlineMS, now)
+
+	// Deadline admission: refuse before any work when the remaining budget
+	// cannot cover this class's estimated service time — the fsync and the
+	// replication round-trip are the whole point of refusing early.
+	if b.active() {
+		if est := s.est.estimate(class); b.expired(now) || est > b.remaining(now) {
+			s.nDeadline.Add(1)
+			expDeadlineExceeded.Add(1)
+			return deadlineResponse(fmt.Sprintf("%s needs ~%dms, budget has %dms",
+				req.Op, est.Milliseconds(), b.remaining(now).Milliseconds()))
+		}
+	}
+
+	// Brownout ladder: every admitted request feeds it a pressure sample
+	// (the shedder's level), so it climbs under sustained pressure and cools
+	// down once the shedder relaxes. At readonly, submit-class mutations are
+	// shed outright; control verbs still land (the operator's way out).
+	level := BrownoutNormal
+	if s.ladder != nil {
+		level = s.ladder.observe(s.pressure(now), now)
+		if level >= BrownoutReadOnly && class == classSubmit {
+			s.nShed.Add(1)
+			expPriorityShed.Add(1)
+			return s.over.shedResponse(class)
+		}
+	}
+
+	// Priority shedder: lowest class first, control never.
+	if s.shed != nil && class != classControl {
+		if lvl := s.shed.current(now); lvl >= shedSubmits || (lvl >= shedQueries && class == classQuery) {
+			s.nShed.Add(1)
+			expPriorityShed.Add(1)
+			return s.over.shedResponse(class)
+		}
+	}
+
 	if bucket != nil {
 		if ok, wait := bucket.take(verbCost(req.Op, s.over.ControlCost), s.now()); !ok {
+			s.sheddingSaturated(now)
 			return s.over.busyResponse(wait)
 		}
 	}
@@ -310,18 +397,71 @@ func (s *Server) admit(req Request, bucket *tokenBucket) Response {
 		case s.sem <- struct{}{}:
 			defer func() { <-s.sem }()
 		default:
+			s.sheddingSaturated(now)
 			return s.over.busyResponse(0)
 		}
 	}
-	return s.handle(req)
+	start := s.now()
+	resp := s.handleB(req, b, level)
+	done := s.now()
+	s.est.observe(class, done.Sub(start))
+	if s.shed != nil {
+		s.shed.observe(done.Sub(start), done)
+	}
+	return resp
+}
+
+// sheddingSaturated tallies a volume shed and feeds it to the adaptive
+// signal as a saturation event: when the backstops are refusing work, that
+// is pressure even if the requests that do run are fast.
+func (s *Server) sheddingSaturated(now time.Time) {
+	s.nBusy.Add(1)
+	expBusyShed.Add(1)
+	if s.shed != nil {
+		s.shed.saturate(now)
+	}
+}
+
+// pressure is the ladder's input signal: the shedder is currently shedding.
+func (s *Server) pressure(now time.Time) bool {
+	return s.shed != nil && s.shed.current(now) > shedNone
+}
+
+// serveCounters snapshots the degradation tallies for the health verb.
+func (s *Server) serveCounters() *ServeCounters {
+	sc := &ServeCounters{
+		Busy:             s.nBusy.Load(),
+		Shed:             s.nShed.Load(),
+		DeadlineExceeded: s.nDeadline.Load(),
+		StaleReads:       s.nStale.Load(),
+		BrownoutState:    brownoutName(BrownoutNormal),
+	}
+	if s.ladder != nil {
+		lvl := s.ladder.current()
+		sc.BrownoutLevel = int64(lvl)
+		sc.BrownoutState = brownoutName(lvl)
+		sc.BrownoutSteps = s.ladder.transitions()
+	}
+	return sc
 }
 
 // healthResponse builds a health reply, attaching role and epoch only when
-// HA is on so standalone responses stay byte-identical to prior releases.
+// HA is on — and brownout state plus degradation counters only when the
+// serve-robustness features are on — so legacy responses stay byte-identical
+// to prior releases. Health probes also feed the ladder a pressure sample:
+// they bypass admission, so after load stops they are what walks the ladder
+// back down to NORMAL.
 func (s *Server) healthResponse(h string) Response {
 	resp := Response{OK: true, Health: h}
 	if on, role, epoch := s.ctl.HAInfo(); on {
 		resp.Role, resp.Epoch = role, epoch
+	}
+	if s.ladder != nil {
+		now := s.now()
+		resp.Brownout = brownoutName(s.ladder.observe(s.pressure(now), now))
+	}
+	if s.shed != nil || s.ladder != nil {
+		resp.Serve = s.serveCounters()
 	}
 	return resp
 }
@@ -330,6 +470,13 @@ func (s *Server) healthResponse(h string) Response {
 // ErrFenced additionally carry the node's role and epoch, which is how a
 // multi-endpoint client learns it should fail over.
 func (s *Server) opErr(err error) Response {
+	if errors.Is(err, ErrDeadlineExceeded) {
+		// The budget ran out mid-mutation (typically: locally durable,
+		// synchronous replication skipped; the heartbeat loop delivers it).
+		s.nDeadline.Add(1)
+		expDeadlineExceeded.Add(1)
+		return deadlineResponse(err.Error())
+	}
 	resp := Response{Error: err.Error()}
 	if errors.Is(err, ErrNotPrimary) || errors.Is(err, ErrFenced) {
 		resp.Role, resp.Epoch = s.ctl.RoleEpoch()
@@ -338,71 +485,87 @@ func (s *Server) opErr(err error) Response {
 }
 
 func (s *Server) handle(req Request) Response {
+	return s.handleB(req, budget{}, BrownoutNormal)
+}
+
+// handleB dispatches one admitted request, threading its deadline budget
+// into controller mutations and applying the brownout level to reads.
+func (s *Server) handleB(req Request, b budget, level int) Response {
 	switch req.Op {
 	case "submit":
 		after := make([]cluster.JobID, len(req.After))
 		for i, a := range req.After {
 			after[i] = cluster.JobID(a)
 		}
-		id, err := s.ctl.SubmitToken(req.Token, req.App, req.Nodes,
+		id, err := s.ctl.submitTokenB(b, req.Token, req.App, req.Nodes,
 			des.Duration(req.Walltime), des.Duration(req.Runtime), req.Name, after...)
 		if err != nil {
 			return s.opErr(err)
 		}
 		return Response{OK: true, ID: int64(id)}
 	case "cancel":
-		if err := s.ctl.Cancel(cluster.JobID(req.ID)); err != nil {
+		if err := s.ctl.cancelB(b, cluster.JobID(req.ID)); err != nil {
 			return s.opErr(err)
 		}
 		return Response{OK: true, ID: req.ID}
 	case "replicate":
 		return s.ctl.HandleReplicate(req)
 	case "queue":
-		jobs := s.ctl.Queue()
-		if req.History {
-			jobs = append(jobs, s.ctl.History()...)
+		jobs, stale := s.queueSnapshot(req.History, level)
+		if stale {
+			s.nStale.Add(1)
+			expStaleReads.Add(1)
 		}
-		return paginate(jobs, req, s.over)
+		return paginate(jobs, req, s.over, level)
 	case "nodes":
-		return Response{OK: true, Nodes: s.ctl.Nodes()}
+		nodes, stale := s.nodesSnapshot(level)
+		if stale {
+			s.nStale.Add(1)
+			expStaleReads.Add(1)
+		}
+		return Response{OK: true, Nodes: nodes}
 	case "drain_node":
-		if err := s.ctl.DrainNode(req.Node); err != nil {
+		if err := s.ctl.drainNodeB(b, req.Node); err != nil {
 			return s.opErr(err)
 		}
 		return Response{OK: true}
 	case "resume_node":
-		if err := s.ctl.ResumeNode(req.Node); err != nil {
+		if err := s.ctl.resumeNodeB(b, req.Node); err != nil {
 			return s.opErr(err)
 		}
 		return Response{OK: true}
 	case "requeue":
-		if err := s.ctl.Requeue(cluster.JobID(req.ID)); err != nil {
+		if err := s.ctl.requeueB(b, cluster.JobID(req.ID)); err != nil {
 			return s.opErr(err)
 		}
 		return Response{OK: true, ID: req.ID}
 	case "down_node":
-		if err := s.ctl.DownNode(req.Node); err != nil {
+		if err := s.ctl.downNodeB(b, req.Node); err != nil {
 			return s.opErr(err)
 		}
 		return Response{OK: true}
 	case "up_node":
-		if err := s.ctl.UpNode(req.Node); err != nil {
+		if err := s.ctl.upNodeB(b, req.Node); err != nil {
 			return s.opErr(err)
 		}
 		return Response{OK: true}
 	case "advance":
-		if _, err := s.ctl.AdvanceChecked(des.Duration(req.Seconds)); err != nil {
+		if _, err := s.ctl.advanceB(b, des.Duration(req.Seconds)); err != nil {
 			return s.opErr(err)
 		}
 		return Response{OK: true}
 	case "drain":
-		if _, err := s.ctl.DrainChecked(); err != nil {
+		if _, err := s.ctl.drainB(b); err != nil {
 			return s.opErr(err)
 		}
 		return Response{OK: true}
 	case "stats":
-		st := s.ctl.Stats()
-		return Response{OK: true, Stats: &st}
+		st, stale := s.statsSnapshot(level)
+		if stale {
+			s.nStale.Add(1)
+			expStaleReads.Add(1)
+		}
+		return Response{OK: true, Stats: st}
 	case "now":
 		return Response{OK: true}
 	case "health":
@@ -415,14 +578,55 @@ func (s *Server) handle(req Request) Response {
 	}
 }
 
+// queueSnapshot, nodesSnapshot, and statsSnapshot are the brownout-aware
+// read paths: at BrownoutStale and above they serve from the TTL snapshot
+// cache (one controller lock per TTL instead of one per request), reporting
+// whether the reply was a cache hit.
+func (s *Server) queueSnapshot(history bool, level int) ([]JobInfo, bool) {
+	fetch := func() []JobInfo {
+		jobs := s.ctl.Queue()
+		if history {
+			jobs = append(jobs, s.ctl.History()...)
+		}
+		return jobs
+	}
+	if level >= BrownoutStale && s.cache != nil {
+		return s.cache.queue(history, s.now(), fetch)
+	}
+	return fetch(), false
+}
+
+func (s *Server) nodesSnapshot(level int) ([]NodeInfo, bool) {
+	if level >= BrownoutStale && s.cache != nil {
+		return s.cache.nodeList(s.now(), s.ctl.Nodes)
+	}
+	return s.ctl.Nodes(), false
+}
+
+func (s *Server) statsSnapshot(level int) (*metrics.Result, bool) {
+	if level >= BrownoutStale && s.cache != nil {
+		return s.cache.statsResult(s.now(), s.ctl.Stats)
+	}
+	st := s.ctl.Stats()
+	return &st, false
+}
+
 // paginate bounds one queue reply. Without explicit Limit/Offset and with
 // no configured HistoryLimit the reply is unchanged (and Total omitted),
-// keeping legacy responses byte-identical.
-func paginate(jobs []JobInfo, req Request, over OverloadConfig) Response {
+// keeping legacy responses byte-identical. At BrownoutPaged and above the
+// brownout history cap clamps even explicit limits: a browned-out
+// controller stops letting bulk sacct scans compete with live traffic.
+func paginate(jobs []JobInfo, req Request, over OverloadConfig, level int) Response {
 	limit := req.Limit
 	explicit := req.Limit > 0 || req.Offset > 0
 	if limit <= 0 && req.History {
 		limit = over.HistoryLimit
+	}
+	if level >= BrownoutPaged && req.History {
+		if bound := over.brownoutHistoryLimit(); limit <= 0 || limit > bound {
+			limit = bound
+			explicit = true // the clamp applies even to default-shaped requests
+		}
 	}
 	if !explicit && (limit <= 0 || len(jobs) <= limit) {
 		return Response{OK: true, Jobs: jobs}
@@ -510,6 +714,43 @@ type Client struct {
 	// connection deadline. Without it a black-holed (partitioned, not
 	// refused) endpoint stalls Do until the server's own idle timeout.
 	Timeout time.Duration
+
+	// DeadlineBudget, when positive, stamps every request that does not
+	// already carry one with a relative deadline (Request.DeadlineMS). The
+	// budget spans the whole Do call including retries: each attempt carries
+	// only what remains, and Do gives up with a DeadlineError once it is
+	// spent — the client-side half of deadline propagation.
+	DeadlineBudget time.Duration
+
+	// Hedge, when set, enables hedged requests for idempotent read verbs:
+	// if the primary endpoint has not answered within Hedge.Delay, a second
+	// attempt races it on a fresh connection and the loser is cancelled
+	// (see hedge.go).
+	Hedge *HedgePolicy
+}
+
+// DeadlineError is returned by Client.Do when the request's deadline budget
+// is exhausted — refused by the server as unservable in the remaining
+// budget, or given up on client-side before/between attempts.
+type DeadlineError struct {
+	Msg string
+}
+
+func (e *DeadlineError) Error() string { return "slurm: deadline exceeded: " + e.Msg }
+
+// maxRetryAfterMS clamps the server-supplied (and therefore, from the
+// client's point of view, untrusted) retry-after hint: a hostile value must
+// not overflow duration math or park a client forever.
+const maxRetryAfterMS = int64(time.Minute / time.Millisecond)
+
+func clampRetryAfterMS(ms int64) time.Duration {
+	if ms < 0 {
+		ms = 0
+	}
+	if ms > maxRetryAfterMS {
+		ms = maxRetryAfterMS
+	}
+	return time.Duration(ms) * time.Millisecond
 }
 
 // NotPrimaryError is a structured server rejection from a node that cannot
@@ -604,10 +845,34 @@ func (c *Client) Close() error {
 }
 
 // Do sends one request and reads one response. With a Retry policy set it
-// transparently retries shed (BUSY) requests, and — for idempotent
-// requests — transport failures, reconnecting as needed.
+// transparently retries shed (BUSY/SHED) requests, and — for idempotent
+// requests — transport failures, reconnecting as needed. With a
+// DeadlineBudget set, every attempt carries the remaining budget on the
+// wire and the whole call (sleeps included) gives up once it is spent.
 func (c *Client) Do(req Request) (Response, error) {
-	resp, err := c.do1(req)
+	var deadline time.Time
+	if c.DeadlineBudget > 0 && req.DeadlineMS == 0 {
+		deadline = time.Now().Add(c.DeadlineBudget)
+	}
+	stamp := func() bool {
+		if deadline.IsZero() {
+			return true
+		}
+		rem := time.Until(deadline)
+		if rem <= 0 {
+			return false
+		}
+		ms := rem.Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		req.DeadlineMS = ms
+		return true
+	}
+	if !stamp() {
+		return Response{}, &DeadlineError{Msg: "budget spent before sending " + req.Op}
+	}
+	resp, err := c.doOnce(req)
 	if err == nil || c.Retry == nil {
 		return resp, err
 	}
@@ -645,15 +910,33 @@ func (c *Client) Do(req Request) (Response, error) {
 				continue
 			}
 		default:
-			return resp, err // application error: not retryable
+			return resp, err // application error (incl. deadline): not retryable
 		}
-		c.Retry.sleep(c.Retry.Delay(attempt, retryAfter))
-		resp, err = c.do1(req)
+		delay := c.Retry.Delay(attempt, retryAfter)
+		if !deadline.IsZero() && time.Now().Add(delay).After(deadline) {
+			// Sleeping would outlive the budget; surface the give-up as a
+			// deadline error carrying the last server answer.
+			return resp, &DeadlineError{Msg: fmt.Sprintf("budget spent retrying %s: %v", req.Op, err)}
+		}
+		c.Retry.sleep(delay)
+		if !stamp() {
+			return resp, &DeadlineError{Msg: fmt.Sprintf("budget spent retrying %s: %v", req.Op, err)}
+		}
+		resp, err = c.doOnce(req)
 		if err == nil {
 			return resp, nil
 		}
 	}
 	return resp, err
+}
+
+// doOnce performs one attempt, hedged for idempotent reads when a hedge
+// policy is set.
+func (c *Client) doOnce(req Request) (Response, error) {
+	if c.Hedge != nil && c.Hedge.Delay > 0 && hedgeable(req) {
+		return c.doHedged(req)
+	}
+	return c.do1(req)
 }
 
 func (c *Client) do1(req Request) (Response, error) {
@@ -662,24 +945,35 @@ func (c *Client) do1(req Request) (Response, error) {
 			return Response{}, err
 		}
 	}
-	if c.Timeout > 0 {
-		c.conn.SetDeadline(time.Now().Add(c.Timeout))
+	return exchange(c.conn, c.sc, c.enc, c.Timeout, req)
+}
+
+// exchange runs one request/response round trip over an explicit transport.
+// It is the common leg under do1 and the hedged path: the hedge goroutine
+// captures the transport by value, so a concurrent reassignment of the
+// client's fields cannot race with an in-flight attempt.
+func exchange(conn net.Conn, sc *bufio.Scanner, enc *json.Encoder, timeout time.Duration, req Request) (Response, error) {
+	if timeout > 0 {
+		conn.SetDeadline(time.Now().Add(timeout))
 	}
-	if err := c.enc.Encode(req); err != nil {
+	if err := enc.Encode(req); err != nil {
 		return Response{}, fmt.Errorf("slurm: send: %w", err)
 	}
-	if !c.sc.Scan() {
-		if err := c.sc.Err(); err != nil {
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
 			return Response{}, fmt.Errorf("slurm: receive: %w", err)
 		}
 		return Response{}, io.ErrUnexpectedEOF
 	}
 	var resp Response
-	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+	if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
 		return Response{}, fmt.Errorf("slurm: decode: %w", err)
 	}
-	if resp.Busy {
-		return resp, &BusyError{RetryAfter: time.Duration(resp.RetryAfterMS) * time.Millisecond}
+	if resp.Busy || resp.Shed {
+		return resp, &BusyError{RetryAfter: clampRetryAfterMS(resp.RetryAfterMS), Shed: resp.Shed}
+	}
+	if resp.DeadlineExceeded {
+		return resp, &DeadlineError{Msg: resp.Error}
 	}
 	if resp.Error != "" {
 		if resp.Role != "" {
@@ -757,6 +1051,12 @@ func (c *Client) Health() (string, error) {
 func (c *Client) HealthInfo() (health, role string, epoch int64, err error) {
 	resp, err := c.Do(Request{Op: "health"})
 	return resp.Health, resp.Role, resp.Epoch, err
+}
+
+// HealthFull returns the entire health reply, including the brownout state
+// and degradation counters a serve-features-on server attaches.
+func (c *Client) HealthFull() (Response, error) {
+	return c.Do(Request{Op: "health"})
 }
 
 // Nodes lists node states.

@@ -58,9 +58,12 @@ func DefaultRetryPolicy(seed uint64) *RetryPolicy {
 }
 
 // Delay computes the wait before retry number attempt (0-based: attempt 0
-// is the wait after the first failure). A server retry-after hint raises —
-// never lowers below its value — the computed backoff, then jitter scales
-// the result.
+// is the wait after the first failure). A server retry-after hint is a hard
+// floor: the returned delay is never below it. Jitter spreads the client's
+// own schedule symmetrically, but once the hint binds, only the upward half
+// applies — the server said "not before then", and a jitter draw scaling
+// the wait under the hint would have the client knock exactly when it was
+// told the door is shut.
 func (p *RetryPolicy) Delay(attempt int, retryAfter time.Duration) time.Duration {
 	mult := p.Multiplier
 	if mult < 1 {
@@ -70,11 +73,14 @@ func (p *RetryPolicy) Delay(attempt int, retryAfter time.Duration) time.Duration
 	if p.MaxDelay > 0 && d > float64(p.MaxDelay) {
 		d = float64(p.MaxDelay)
 	}
-	if ra := float64(retryAfter); ra > d {
-		d = ra
-	}
 	if p.Jitter > 0 && p.Rand != nil {
 		d *= 1 - p.Jitter + 2*p.Jitter*p.Rand()
+	}
+	if ra := float64(retryAfter); ra > d {
+		d = ra
+		if p.Jitter > 0 && p.Rand != nil {
+			d *= 1 + p.Jitter*p.Rand()
+		}
 	}
 	return time.Duration(d)
 }

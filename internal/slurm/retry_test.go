@@ -99,6 +99,42 @@ func TestRetryDelayJitterDeterministic(t *testing.T) {
 	}
 }
 
+// TestRetryAfterIsJitterFloor: regression for the hint/jitter ordering bug.
+// The old code applied the retry-after floor first and multiplied jitter in
+// afterwards, so a low jitter draw scheduled the retry *before* the time the
+// server said it would start accepting again. The hint must be a hard floor
+// on the final, post-jitter delay for every possible draw.
+func TestRetryAfterIsJitterFloor(t *testing.T) {
+	hint := 100 * time.Millisecond
+	for _, draw := range []float64{0, 0.25, 0.5, 0.75, 0.999} {
+		p := &RetryPolicy{
+			BaseDelay:  time.Millisecond,
+			MaxDelay:   time.Second,
+			Multiplier: 2,
+			Jitter:     0.2,
+			Rand:       func() float64 { return draw },
+		}
+		for attempt := 0; attempt < 6; attempt++ {
+			if got := p.Delay(attempt, hint); got < hint {
+				t.Errorf("draw %.3f attempt %d: Delay = %v, below the %v server hint",
+					draw, attempt, got, hint)
+			}
+		}
+	}
+	// Once the backoff itself exceeds the hint, the client's own jittered
+	// schedule governs (the floor binds, it doesn't replace).
+	p := &RetryPolicy{
+		BaseDelay:  400 * time.Millisecond,
+		MaxDelay:   time.Second,
+		Multiplier: 2,
+		Jitter:     0.2,
+		Rand:       func() float64 { return 0.5 }, // jitter factor exactly 1
+	}
+	if got := p.Delay(0, hint); got != 400*time.Millisecond {
+		t.Errorf("backoff above hint: Delay = %v, want 400ms", got)
+	}
+}
+
 // TestRetryGiveUp: a client whose budget is exhausted stops retrying and
 // surfaces the BUSY error with its hint.
 func TestRetryGiveUp(t *testing.T) {
